@@ -1,0 +1,137 @@
+//! Property tests on the analysis lattices and the PDG's conservatism.
+
+use cgpa_analysis::alias::{MemoryModel, PointsTo, PtrFact, RegionId};
+use cgpa_analysis::classify::classify_sccs;
+use cgpa_analysis::pdg::{build_pdg, DepKind};
+use cgpa_analysis::Condensation;
+use cgpa_ir::builder::FunctionBuilder;
+use cgpa_ir::cfg::Cfg;
+use cgpa_ir::dom::DomTree;
+use cgpa_ir::inst::IntPredicate;
+use cgpa_ir::loops::LoopInfo;
+use cgpa_ir::{BinOp, Function, Ty};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn fact() -> impl Strategy<Value = PtrFact> {
+    prop_oneof![
+        Just(PtrFact::unknown()),
+        Just(PtrFact::bottom()),
+        (0u32..6).prop_map(|r| PtrFact::region(RegionId(r))),
+        proptest::collection::btree_set(0u32..6, 0..4).prop_map(|rs| {
+            let set: BTreeSet<RegionId> = rs.into_iter().map(RegionId).collect();
+            PtrFact {
+                regions: cgpa_analysis::alias::RegionsFact::Known(set),
+                offset: cgpa_analysis::alias::OffsetFact::Any,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn join_is_commutative(a in fact(), b in fact()) {
+        prop_assert_eq!(a.join(&b), b.join(&a));
+    }
+
+    #[test]
+    fn join_is_idempotent(a in fact()) {
+        prop_assert_eq!(a.join(&a), a);
+    }
+
+    #[test]
+    fn join_is_associative(a in fact(), b in fact(), c in fact()) {
+        prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+    }
+
+    #[test]
+    fn bottom_is_identity(a in fact()) {
+        prop_assert_eq!(a.join(&PtrFact::bottom()), a.clone());
+    }
+
+    #[test]
+    fn unknown_is_absorbing(a in fact()) {
+        prop_assert!(a.join(&PtrFact::unknown()).is_unknown());
+    }
+}
+
+/// A loop touching two arrays with stride-dependent access.
+fn two_array_loop() -> Function {
+    let mut b =
+        FunctionBuilder::new("t", &[("a", Ty::Ptr), ("bb", Ty::Ptr), ("n", Ty::I32)], None);
+    let a = b.param(0);
+    let arr_b = b.param(1);
+    let n = b.param(2);
+    let header = b.append_block("header");
+    let body = b.append_block("body");
+    let exit = b.append_block("exit");
+    let zero = b.const_i32(0);
+    let one = b.const_i32(1);
+    b.br(header);
+    b.switch_to(header);
+    let i = b.phi(Ty::I32, "i");
+    let c = b.icmp(IntPredicate::Slt, i, n);
+    b.cond_br(c, body, exit);
+    b.switch_to(body);
+    let pa = b.gep(a, i, 4, 0);
+    let x = b.load(pa, Ty::I32);
+    let y = b.binary(BinOp::Add, x, one);
+    let pb = b.gep(arr_b, i, 4, 0);
+    b.store(pb, y);
+    let i2 = b.binary(BinOp::Add, i, one);
+    b.br(header);
+    b.switch_to(exit);
+    b.ret(None);
+    b.add_phi_incoming(i, b.entry_block(), zero);
+    b.add_phi_incoming(i, body, i2);
+    b.finish().unwrap()
+}
+
+fn pdg_edge_set(f: &Function, mm: &MemoryModel) -> BTreeSet<(usize, usize, DepKind)> {
+    let cfg = Cfg::new(f);
+    let dom = DomTree::dominators(f, &cfg);
+    let li = LoopInfo::compute(f, &cfg, &dom);
+    let target = li.single_outermost().unwrap();
+    let pt = PointsTo::compute(f, mm);
+    let pdg = build_pdg(f, &cfg, target, &pt, mm);
+    pdg.edges.iter().map(|e| (e.from, e.to, e.kind)).collect()
+}
+
+#[test]
+fn conservative_model_yields_a_superset_of_edges() {
+    let f = two_array_loop();
+    // Precise: disjoint regions, out distinct-per-iteration.
+    let mut precise = MemoryModel::new();
+    let ra = precise.add_region("a", 4, true, false);
+    let rb = precise.add_region("b", 4, false, true);
+    precise.bind_param(0, ra);
+    precise.bind_param(1, rb);
+    let precise_edges = pdg_edge_set(&f, &precise);
+    let conservative_edges = pdg_edge_set(&f, &MemoryModel::new());
+    assert!(
+        precise_edges.is_subset(&conservative_edges),
+        "precise analysis must only remove edges"
+    );
+    assert!(precise_edges.len() < conservative_edges.len());
+}
+
+#[test]
+fn condensation_partitions_every_node_exactly_once() {
+    let f = two_array_loop();
+    let mm = MemoryModel::new();
+    let cfg = Cfg::new(&f);
+    let dom = DomTree::dominators(&f, &cfg);
+    let li = LoopInfo::compute(&f, &cfg, &dom);
+    let target = li.single_outermost().unwrap();
+    let pt = PointsTo::compute(&f, &mm);
+    let pdg = build_pdg(&f, &cfg, target, &pt, &mm);
+    let cond = Condensation::compute(&pdg);
+    let total: usize = cond.sccs.iter().map(Vec::len).sum();
+    assert_eq!(total, pdg.len());
+    assert!(cond.is_topologically_ordered());
+    // Classification covers every SCC.
+    let classes = classify_sccs(&f, &pdg, &cond);
+    assert_eq!(classes.classes().len(), cond.len());
+}

@@ -1,0 +1,78 @@
+//! Compiler-throughput bench: times each phase of the CGPA flow (paper
+//! Figure 3) separately — PDG construction, SCC condensation +
+//! classification, partition, transform, FSM scheduling — over the five
+//! benchmark kernels.
+
+use cgpa_analysis::alias::PointsTo;
+use cgpa_analysis::classify::classify_sccs;
+use cgpa_analysis::pdg::build_pdg;
+use cgpa_analysis::Condensation;
+use cgpa_bench::{bench_kernels, KernelSet};
+use cgpa_ir::cfg::Cfg;
+use cgpa_ir::dom::DomTree;
+use cgpa_ir::loops::LoopInfo;
+use cgpa_pipeline::transform::TransformConfig;
+use cgpa_pipeline::{partition_loop, transform_loop, PartitionConfig};
+use cgpa_rtl::schedule::schedule_function;
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn passes(c: &mut Criterion) {
+    let kernels = bench_kernels(KernelSet::Quick, 42);
+    let mut group = c.benchmark_group("compiler_passes");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+    for k in &kernels {
+        let f = &k.func;
+        let cfg = Cfg::new(f);
+        let dom = DomTree::dominators(f, &cfg);
+        let li = LoopInfo::compute(f, &cfg, &dom);
+        let target = li.single_outermost().expect("loop");
+        let pt = PointsTo::compute(f, &k.model);
+
+        group.bench_with_input(BenchmarkId::new("pdg", &k.name), k, |b, _| {
+            b.iter(|| build_pdg(f, &cfg, target, &pt, &k.model));
+        });
+
+        let pdg = build_pdg(f, &cfg, target, &pt, &k.model);
+        group.bench_with_input(BenchmarkId::new("scc_classify", &k.name), k, |b, _| {
+            b.iter(|| {
+                let cond = Condensation::compute(&pdg);
+                classify_sccs(f, &pdg, &cond)
+            });
+        });
+
+        let cond = Condensation::compute(&pdg);
+        let classes = classify_sccs(f, &pdg, &cond);
+        group.bench_with_input(BenchmarkId::new("partition", &k.name), k, |b, _| {
+            b.iter(|| {
+                partition_loop(f, &pdg, &cond, &classes, PartitionConfig::default())
+                    .expect("partition")
+            });
+        });
+
+        let plan =
+            partition_loop(f, &pdg, &cond, &classes, PartitionConfig::default()).expect("plan");
+        group.bench_with_input(BenchmarkId::new("transform", &k.name), k, |b, _| {
+            b.iter(|| {
+                transform_loop(f, &cfg, target, &pdg, &cond, &plan, TransformConfig::default())
+                    .expect("transform")
+            });
+        });
+
+        let pm = transform_loop(f, &cfg, target, &pdg, &cond, &plan, TransformConfig::default())
+            .expect("pm");
+        group.bench_with_input(BenchmarkId::new("schedule", &k.name), k, |b, _| {
+            b.iter(|| {
+                for tf in &pm.module.funcs {
+                    let _ = schedule_function(tf);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, passes);
+criterion_main!(benches);

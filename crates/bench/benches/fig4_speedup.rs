@@ -1,0 +1,46 @@
+//! Figure 4 regeneration bench: times the three evaluation flows (MIPS,
+//! LegUp, CGPA) per kernel and prints the speedup series the paper plots.
+//! Run `cargo run -p cgpa-bench --bin experiments -- fig4` for the table
+//! alone.
+
+use cgpa::compiler::CgpaConfig;
+use cgpa::flows::{run_cgpa, run_legup, run_mips};
+use cgpa_bench::{bench_kernels, KernelSet};
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fig4(c: &mut Criterion) {
+    let kernels = bench_kernels(KernelSet::Quick, 42);
+    let mut group = c.benchmark_group("fig4_speedup");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+    for k in &kernels {
+        // Print the series once so bench logs carry the figure data.
+        let mips = run_mips(k).expect("mips");
+        let legup = run_legup(k).expect("legup");
+        let cgpa = run_cgpa(k, CgpaConfig::default()).expect("cgpa");
+        println!(
+            "fig4[{}]: LegUp {:.2}x CGPA {:.2}x (cycles {} / {} / {})",
+            k.name,
+            mips.cycles as f64 / legup.cycles as f64,
+            mips.cycles as f64 / cgpa.cycles as f64,
+            mips.cycles,
+            legup.cycles,
+            cgpa.cycles
+        );
+        group.bench_with_input(BenchmarkId::new("mips", &k.name), k, |b, k| {
+            b.iter(|| run_mips(k).expect("mips"));
+        });
+        group.bench_with_input(BenchmarkId::new("legup", &k.name), k, |b, k| {
+            b.iter(|| run_legup(k).expect("legup"));
+        });
+        group.bench_with_input(BenchmarkId::new("cgpa_p1", &k.name), k, |b, k| {
+            b.iter(|| run_cgpa(k, CgpaConfig::default()).expect("cgpa"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

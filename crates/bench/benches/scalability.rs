@@ -1,0 +1,57 @@
+//! Appendix B.1 scalability bench: CGPA cycles over worker counts, plus
+//! the P1/P2 tradeoff of §4.2.
+
+use cgpa::compiler::CgpaConfig;
+use cgpa::flows::run_cgpa;
+use cgpa_bench::{bench_kernels, scalability_sweep, suite::has_p2, KernelSet};
+use cgpa_pipeline::ReplicablePlacement;
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn scalability(c: &mut Criterion) {
+    let kernels = bench_kernels(KernelSet::Quick, 42);
+    let mut group = c.benchmark_group("scalability");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+    for k in &kernels {
+        let rows = scalability_sweep(k, &[1, 2, 4, 8]).expect("sweep");
+        let series: Vec<String> =
+            rows.iter().map(|(w, cy)| format!("{w}w={cy}")).collect();
+        println!("scalability[{}]: {}", k.name, series.join(" "));
+        if has_p2(&k.name) {
+            let p1 = run_cgpa(k, CgpaConfig::default()).expect("p1");
+            let p2 = run_cgpa(
+                k,
+                CgpaConfig {
+                    placement: ReplicablePlacement::Replicated,
+                    ..CgpaConfig::default()
+                },
+            )
+            .expect("p2");
+            println!(
+                "tradeoff[{}]: P1 {} cy vs P2 {} cy (P1 +{:.0}%)",
+                k.name,
+                p1.cycles,
+                p2.cycles,
+                (p2.cycles as f64 / p1.cycles as f64 - 1.0) * 100.0
+            );
+        }
+        for w in [1u32, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}w", w), &k.name),
+                k,
+                |b, k| {
+                    b.iter(|| {
+                        run_cgpa(k, CgpaConfig { workers: w, ..CgpaConfig::default() })
+                            .expect("cgpa")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scalability);
+criterion_main!(benches);

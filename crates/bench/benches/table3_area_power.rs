@@ -1,0 +1,49 @@
+//! Table 3 regeneration bench: area/power/energy model evaluation per
+//! kernel and configuration, printing the rows the paper tabulates.
+
+use cgpa::compiler::CgpaConfig;
+use cgpa::flows::{run_cgpa, run_legup};
+use cgpa_bench::{bench_kernels, suite::has_p2, KernelSet};
+use cgpa_pipeline::ReplicablePlacement;
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn table3(c: &mut Criterion) {
+    let kernels = bench_kernels(KernelSet::Quick, 42);
+    let mut group = c.benchmark_group("table3_area_power");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+    for k in &kernels {
+        let legup = run_legup(k).expect("legup");
+        let p1 = run_cgpa(k, CgpaConfig::default()).expect("p1");
+        println!(
+            "table3[{}]: LegUp {} ALUT {:.1} mW {:.2} uJ | CGPA(P1) {} ALUT {:.1} mW {:.2} uJ",
+            k.name, legup.alut, legup.power_mw, legup.energy_uj, p1.alut, p1.power_mw, p1.energy_uj
+        );
+        if has_p2(&k.name) {
+            let p2 = run_cgpa(
+                k,
+                CgpaConfig {
+                    placement: ReplicablePlacement::Replicated,
+                    ..CgpaConfig::default()
+                },
+            )
+            .expect("p2");
+            println!(
+                "table3[{}]: CGPA(P2) {} ALUT {:.1} mW {:.2} uJ",
+                k.name, p2.alut, p2.power_mw, p2.energy_uj
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("legup_model", &k.name), k, |b, k| {
+            b.iter(|| run_legup(k).expect("legup"));
+        });
+        group.bench_with_input(BenchmarkId::new("cgpa_model", &k.name), k, |b, k| {
+            b.iter(|| run_cgpa(k, CgpaConfig::default()).expect("p1"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table3);
+criterion_main!(benches);

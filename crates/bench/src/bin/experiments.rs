@@ -1,0 +1,335 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! experiments [table2|fig4|table3|tradeoff|scalability|ablation|topology|all] [--quick] [--csv <dir>]
+//! ```
+//!
+//! `--csv <dir>` additionally writes machine-readable CSV files per
+//! experiment for downstream plotting.
+
+use cgpa::compiler::{CgpaCompiler, CgpaConfig};
+use cgpa::report::{geomean, BenchmarkReport};
+use cgpa_bench::{bench_kernels, full_report, scalability_sweep, KernelSet};
+use std::cell::RefCell;
+
+thread_local! {
+    static CSV_DIR: RefCell<Option<std::path::PathBuf>> = const { RefCell::new(None) };
+}
+
+/// Write a CSV file into the `--csv` directory, if one was given.
+fn write_csv(name: &str, header: &str, rows: &[String]) {
+    CSV_DIR.with(|c| {
+        if let Some(dir) = c.borrow().as_ref() {
+            let mut text = String::from(header);
+            text.push('\n');
+            for r in rows {
+                text.push_str(r);
+                text.push('\n');
+            }
+            let path = dir.join(format!("{name}.csv"));
+            std::fs::write(&path, text).expect("write csv");
+            eprintln!("wrote {}", path.display());
+        }
+    });
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv_dir: Option<std::path::PathBuf> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    if let Some(d) = &csv_dir {
+        std::fs::create_dir_all(d).expect("create csv dir");
+    }
+    CSV_DIR.with(|c| *c.borrow_mut() = csv_dir);
+    let set = if quick { KernelSet::Quick } else { KernelSet::Full };
+    let mut positional = args.iter().filter(|a| !a.starts_with("--"));
+    let mut which = positional.next().cloned().unwrap_or_else(|| "all".to_string());
+    // `--csv <dir>`'s operand is positional; skip it.
+    if let Some(i) = args.iter().position(|a| a == "--csv") {
+        if args.get(i + 1).map(String::as_str) == Some(which.as_str()) {
+            which = positional.next().cloned().unwrap_or_else(|| "all".to_string());
+        }
+    }
+
+    match which.as_str() {
+        "table2" => table2(set),
+        "fig4" => fig4(set),
+        "table3" => table3(set),
+        "tradeoff" => tradeoff(set),
+        "scalability" => scalability(set),
+        "ablation" => ablation(set),
+        "topology" => topology(set),
+        "all" => {
+            table2(set);
+            let reports = run_suite(set);
+            fig4_from(&reports);
+            table3_from(&reports);
+            tradeoff_from(&reports);
+            scalability(set);
+            ablation(set);
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            eprintln!(
+                "usage: experiments [table2|fig4|table3|tradeoff|scalability|ablation|topology|all] [--quick]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_suite(set: KernelSet) -> Vec<BenchmarkReport> {
+    full_report(set, 4, 42).unwrap_or_else(|e| {
+        eprintln!("suite failed: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// Table 2: benchmark descriptions and derived pipeline partitions.
+fn table2(set: KernelSet) {
+    println!("== Table 2: benchmark descriptions and derived pipeline partitions ==");
+    println!("{:<14} {:<20} {:>8} {:>8}  description", "benchmark", "domain", "P1", "P2");
+    let compiler_p1 = CgpaCompiler::new(CgpaConfig::default());
+    let compiler_p2 = CgpaCompiler::new(CgpaConfig {
+        placement: cgpa_pipeline::ReplicablePlacement::Replicated,
+        ..CgpaConfig::default()
+    });
+    for k in bench_kernels(set, 42) {
+        let p1 = compiler_p1
+            .compile(&k.func, &k.model)
+            .map(|c| c.shape)
+            .unwrap_or_else(|e| format!("err: {e}"));
+        let p2 = if cgpa_bench::suite::has_p2(&k.name) {
+            compiler_p2
+                .compile(&k.func, &k.model)
+                .map(|c| c.shape)
+                .unwrap_or_else(|e| format!("err: {e}"))
+        } else {
+            "-".to_string()
+        };
+        println!(
+            "{:<14} {:<20} {:>8} {:>8}  {}",
+            k.name, k.domain, p1, p2, k.description
+        );
+    }
+    println!();
+}
+
+fn fig4(set: KernelSet) {
+    fig4_from(&run_suite(set));
+}
+
+/// Figure 4: loop speedups over the MIPS soft core.
+fn fig4_from(reports: &[BenchmarkReport]) {
+    println!("== Figure 4: loop speedup, normalized to the MIPS software core ==");
+    println!(
+        "{:<14} {:>12} {:>12} {:>14}",
+        "benchmark", "LegUp", "CGPA", "CGPA/LegUp"
+    );
+    let mut legup = Vec::new();
+    let mut cgpa = Vec::new();
+    let mut ratio = Vec::new();
+    for r in reports {
+        let l = r.legup_speedup();
+        let c = r.cgpa_speedup();
+        println!("{:<14} {:>11.2}x {:>11.2}x {:>13.2}x", r.name, l, c, r.cgpa_over_legup());
+        legup.push(l);
+        cgpa.push(c);
+        ratio.push(r.cgpa_over_legup());
+    }
+    println!(
+        "{:<14} {:>11.2}x {:>11.2}x {:>13.2}x",
+        "GeoMean",
+        geomean(&legup),
+        geomean(&cgpa),
+        geomean(&ratio)
+    );
+    println!("paper:         LegUp 1.85x geomean; CGPA 6.0x geomean; CGPA/LegUp 3.3x (3.0-3.8x)");
+    println!();
+    let rows: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            format!(
+                "{},{},{},{},{:.4},{:.4}",
+                r.name,
+                r.mips.cycles,
+                r.legup.cycles,
+                r.cgpa_p1.cycles,
+                r.legup_speedup(),
+                r.cgpa_speedup()
+            )
+        })
+        .collect();
+    write_csv("fig4", "benchmark,mips_cycles,legup_cycles,cgpa_cycles,legup_speedup,cgpa_speedup", &rows);
+}
+
+fn table3(set: KernelSet) {
+    table3_from(&run_suite(set));
+}
+
+/// Table 3: ALUT / power / energy / energy efficiency.
+fn table3_from(reports: &[BenchmarkReport]) {
+    println!("== Table 3: area, power, energy ==");
+    println!(
+        "{:<14} {:<10} {:>8} {:>10} {:>12} {:>12}",
+        "benchmark", "type", "ALUT", "power(mW)", "energy(uJ)", "eff(it/uJ)"
+    );
+    let mut overheads = Vec::new();
+    let mut alut_ratios = Vec::new();
+    for r in reports {
+        let rows: Vec<(&str, &cgpa::flows::RunResult)> = {
+            let mut v = vec![("LegUp", &r.legup), ("CGPA(P1)", &r.cgpa_p1)];
+            if let Some(p2) = &r.cgpa_p2 {
+                v.push(("CGPA(P2)", p2));
+            }
+            v
+        };
+        for (label, rr) in rows {
+            println!(
+                "{:<14} {:<10} {:>8} {:>10.1} {:>12.3} {:>12.2}",
+                r.name, label, rr.alut, rr.power_mw, rr.energy_uj, rr.efficiency
+            );
+        }
+        overheads.push(r.energy_overhead());
+        alut_ratios.push(r.alut_ratio());
+    }
+    println!(
+        "geomean CGPA(P1)/LegUp: ALUT {:.2}x (paper ~4.1x), energy {:.2}x (paper ~1.2x)",
+        geomean(&alut_ratios),
+        geomean(&overheads)
+    );
+    println!();
+    let mut rows: Vec<String> = Vec::new();
+    for r in reports {
+        let mut push = |label: &str, rr: &cgpa::flows::RunResult| {
+            rows.push(format!(
+                "{},{label},{},{:.3},{:.4},{:.4}",
+                r.name, rr.alut, rr.power_mw, rr.energy_uj, rr.efficiency
+            ));
+        };
+        push("legup", &r.legup);
+        push("cgpa_p1", &r.cgpa_p1);
+        if let Some(p2) = &r.cgpa_p2 {
+            push("cgpa_p2", p2);
+        }
+    }
+    write_csv("table3", "benchmark,config,alut,power_mw,energy_uj,efficiency", &rows);
+}
+
+fn tradeoff(set: KernelSet) {
+    tradeoff_from(&run_suite(set));
+}
+
+/// §4.2 Tradeoff: P1 vs P2 on em3d and Gaussblur.
+fn tradeoff_from(reports: &[BenchmarkReport]) {
+    println!("== Tradeoff: decoupled pipelining (P1) vs replicated data-level parallelism (P2) ==");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>12}",
+        "benchmark", "P1 cycles", "P2 cycles", "P1 perf +", "P1 energy -"
+    );
+    for r in reports {
+        let Some(p2) = &r.cgpa_p2 else { continue };
+        let perf = (p2.cycles as f64 / r.cgpa_p1.cycles as f64 - 1.0) * 100.0;
+        let energy = (1.0 - r.cgpa_p1.energy_uj / p2.energy_uj) * 100.0;
+        println!(
+            "{:<14} {:>12} {:>12} {:>11.1}% {:>11.1}%",
+            r.name, r.cgpa_p1.cycles, p2.cycles, perf, energy
+        );
+    }
+    println!("paper: P1 faster by 6% (em3d) / 15% (Gaussblur); energy lower by 11% / 14%");
+    println!();
+}
+
+/// Figure 2 topology: stages, workers, FIFO channels, and cache ports per
+/// kernel, plus per-stage area.
+fn topology(set: KernelSet) {
+    println!("== Figure 2: accelerator topology per kernel ==");
+    let compiler = CgpaCompiler::new(CgpaConfig::default());
+    for k in bench_kernels(set, 42) {
+        match compiler.compile(&k.func, &k.model) {
+            Ok(c) => print!("{}", cgpa::report::pipeline_summary(&c)),
+            Err(e) => println!("{}: {e}", k.name),
+        }
+    }
+    println!();
+}
+
+/// Extension ablations: FIFO-depth sensitivity (the paper fixes 16 beats)
+/// and miss-latency tolerance (the decoupling benefit of §2.2).
+fn ablation(set: KernelSet) {
+    use cgpa_bench::suite::{fifo_depth_sweep, miss_latency_sweep};
+    println!("== Ablation A: FIFO depth (CGPA P1 cycles; paper fixes depth 16) ==");
+    let depths = [2usize, 4, 8, 16, 32];
+    print!("{:<14}", "benchmark");
+    for d in depths {
+        print!(" {d:>8}b");
+    }
+    println!();
+    for k in bench_kernels(set, 42) {
+        match fifo_depth_sweep(&k, &depths) {
+            Ok(rows) => {
+                print!("{:<14}", k.name);
+                for (_, cy) in rows {
+                    print!(" {cy:>9}");
+                }
+                println!();
+            }
+            Err(e) => println!("{:<14} failed: {e}", k.name),
+        }
+    }
+    println!();
+    println!("== Ablation B: miss-latency tolerance (LegUp vs CGPA slowdown, x over 12-cycle miss) ==");
+    let lats = [12u32, 24, 48, 96];
+    println!(
+        "{:<14} {:>16} {:>16}",
+        "benchmark", "LegUp 12->96", "CGPA 12->96"
+    );
+    for k in bench_kernels(set, 42) {
+        match miss_latency_sweep(&k, &lats) {
+            Ok(rows) => {
+                let (l0, c0) = (rows[0].1 as f64, rows[0].2 as f64);
+                let (ln, cn) = (rows[3].1 as f64, rows[3].2 as f64);
+                println!(
+                    "{:<14} {:>15.2}x {:>15.2}x",
+                    k.name,
+                    ln / l0,
+                    cn / c0
+                );
+            }
+            Err(e) => println!("{:<14} failed: {e}", k.name),
+        }
+    }
+    println!("(lower is better: a smaller factor means the design tolerates slow memory better)");
+    println!();
+}
+
+/// Appendix B.1: worker-count sweep.
+fn scalability(set: KernelSet) {
+    println!("== Appendix B.1: scalability (CGPA P1 cycles by worker count) ==");
+    let counts = [1u32, 2, 4, 8, 16];
+    print!("{:<14}", "benchmark");
+    for c in counts {
+        print!(" {c:>10}w");
+    }
+    println!();
+    let mut csv_rows: Vec<String> = Vec::new();
+    for k in bench_kernels(set, 42) {
+        match scalability_sweep(&k, &counts) {
+            Ok(rows) => {
+                print!("{:<14}", k.name);
+                for (w, cycles) in rows {
+                    print!(" {cycles:>11}");
+                    csv_rows.push(format!("{},{w},{cycles}", k.name));
+                }
+                println!();
+            }
+            Err(e) => println!("{:<14} failed: {e}", k.name),
+        }
+    }
+    write_csv("scalability", "benchmark,workers,cycles", &csv_rows);
+    println!();
+}

@@ -1,0 +1,10 @@
+//! # cgpa-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§4):
+//! Table 2 (pipeline partitions), Figure 4 (speedups), Table 3
+//! (area/power/energy), the P1-vs-P2 tradeoff, and the Appendix B
+//! scalability sweep. See the `experiments` binary.
+
+pub mod suite;
+
+pub use suite::{bench_kernels, full_report, scalability_sweep, KernelSet};

@@ -1,0 +1,151 @@
+//! Benchmark suite assembly shared by the `experiments` binary and the
+//! Criterion benches.
+
+use cgpa::compiler::CgpaConfig;
+use cgpa::flows::{run_cgpa, run_cgpa_tuned, run_legup, run_mips, FlowError, HwTuning};
+use cgpa::report::BenchmarkReport;
+use cgpa_kernels::{em3d, gaussblur, hash_index, kmeans, ks, BuiltKernel};
+use cgpa_pipeline::ReplicablePlacement;
+
+/// Workload scale for the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelSet {
+    /// Small inputs for CI-speed runs.
+    Quick,
+    /// Paper-scale inputs (default for the experiments binary).
+    Full,
+}
+
+/// Build the five benchmarks at the requested scale.
+#[must_use]
+pub fn bench_kernels(set: KernelSet, seed: u64) -> Vec<BuiltKernel> {
+    match set {
+        KernelSet::Quick => vec![
+            kmeans::build(&kmeans::Params { points: 64, clusters: 4, features: 8 }, seed),
+            hash_index::build(&hash_index::Params { items: 256, buckets: 64, scatter: 24 }, seed),
+            ks::build(&ks::Params { a_cells: 24, b_cells: 24, scatter: 16 }, seed),
+            em3d::build(&em3d::Params::fixed(128, 128, 8, 32), seed),
+            gaussblur::build(&gaussblur::Params { width: 512 }, seed),
+        ],
+        KernelSet::Full => vec![
+            kmeans::build(&kmeans::Params::default(), seed),
+            hash_index::build(&hash_index::Params::default(), seed),
+            ks::build(&ks::Params::default(), seed),
+            em3d::build(&em3d::Params::default(), seed),
+            gaussblur::build(&gaussblur::Params::default(), seed),
+        ],
+    }
+}
+
+/// Whether the paper reports a P2 variant for this kernel (Table 2/3: em3d
+/// and 1D-Gaussblur only).
+#[must_use]
+pub fn has_p2(name: &str) -> bool {
+    matches!(name, "em3d" | "gaussblur")
+}
+
+/// Run all configurations for one kernel.
+///
+/// # Errors
+/// Forwards the first flow error.
+pub fn report_for(k: &BuiltKernel, workers: u32) -> Result<BenchmarkReport, FlowError> {
+    let mips = run_mips(k)?;
+    let legup = run_legup(k)?;
+    let p1 = run_cgpa(k, CgpaConfig { workers, ..CgpaConfig::default() })?;
+    let p2 = if has_p2(&k.name) {
+        Some(run_cgpa(
+            k,
+            CgpaConfig {
+                workers,
+                placement: ReplicablePlacement::Replicated,
+                ..CgpaConfig::default()
+            },
+        )?)
+    } else {
+        None
+    };
+    Ok(BenchmarkReport { name: k.name.clone(), mips, legup, cgpa_p1: p1, cgpa_p2: p2 })
+}
+
+/// Run the whole suite.
+///
+/// # Errors
+/// Forwards the first flow error.
+pub fn full_report(set: KernelSet, workers: u32, seed: u64) -> Result<Vec<BenchmarkReport>, FlowError> {
+    bench_kernels(set, seed).iter().map(|k| report_for(k, workers)).collect()
+}
+
+/// Ablation: FIFO depth sweep (the paper fixes 16 beats in §4.1 — how much
+/// decoupling do the kernels actually need?).
+///
+/// # Errors
+/// Forwards the first flow error.
+pub fn fifo_depth_sweep(
+    k: &BuiltKernel,
+    depths: &[usize],
+) -> Result<Vec<(usize, u64)>, FlowError> {
+    depths
+        .iter()
+        .map(|&d| {
+            let r = run_cgpa_tuned(
+                k,
+                CgpaConfig::default(),
+                HwTuning { fifo_depth_beats: d, ..HwTuning::default() },
+            )?;
+            Ok((d, r.cycles))
+        })
+        .collect()
+}
+
+/// Ablation: miss-latency sweep — how well does decoupled pipelining
+/// tolerate variable memory latency vs sequential HLS (the paper's
+/// "Tolerating Variable Latency" benefit, §2.2)?
+///
+/// Returns `(miss_latency, legup_cycles, cgpa_cycles)`.
+///
+/// # Errors
+/// Forwards the first flow error.
+pub fn miss_latency_sweep(
+    k: &BuiltKernel,
+    latencies: &[u32],
+) -> Result<Vec<(u32, u64, u64)>, FlowError> {
+    use cgpa_sim::cache::CacheConfig;
+    use cgpa_sim::{HwConfig, HwSystem};
+    latencies
+        .iter()
+        .map(|&ml| {
+            // LegUp at this latency.
+            let mut mem = k.mem.clone();
+            let cfg = HwConfig {
+                cache: CacheConfig { banks: 1, miss_latency: ml, ..CacheConfig::default() },
+                ..HwConfig::default()
+            };
+            let mut sys = HwSystem::for_single(&k.func, &k.args, cfg);
+            let legup = sys.run(&mut mem).map_err(cgpa::flows::FlowError::Hw)?.cycles;
+            let cgpa = run_cgpa_tuned(
+                k,
+                CgpaConfig::default(),
+                HwTuning { miss_latency: ml, ..HwTuning::default() },
+            )?
+            .cycles;
+            Ok((ml, legup, cgpa))
+        })
+        .collect()
+}
+
+/// Appendix B scalability: CGPA(P1) cycles for several worker counts.
+///
+/// # Errors
+/// Forwards the first flow error.
+pub fn scalability_sweep(
+    k: &BuiltKernel,
+    worker_counts: &[u32],
+) -> Result<Vec<(u32, u64)>, FlowError> {
+    worker_counts
+        .iter()
+        .map(|&w| {
+            let r = run_cgpa(k, CgpaConfig { workers: w, ..CgpaConfig::default() })?;
+            Ok((w, r.cycles))
+        })
+        .collect()
+}

@@ -1,0 +1,322 @@
+//! The CGPA compiler driver (paper Figure 3's analysis/transform/backend
+//! pipeline).
+
+use cgpa_analysis::alias::PointsTo;
+use cgpa_analysis::classify::{classify_sccs, SccClassification};
+use cgpa_analysis::pdg::build_pdg;
+use cgpa_analysis::{Condensation, MemoryModel, Pdg};
+use cgpa_ir::cfg::Cfg;
+use cgpa_ir::dom::DomTree;
+use cgpa_ir::loops::LoopInfo;
+use cgpa_ir::Function;
+use cgpa_pipeline::transform::TransformConfig;
+use cgpa_pipeline::{
+    partition_loop, transform_loop, PartitionConfig, PartitionError, PipelineModule, PipelinePlan,
+    ReplicablePlacement, StageKind, TransformError,
+};
+use cgpa_rtl::schedule::{schedule_function, verify_schedule};
+use cgpa_rtl::{verilog, Fsm};
+use std::error::Error;
+use std::fmt;
+
+/// Compiler configuration (paper §4.1 defaults: 4 workers, 16-deep FIFOs).
+#[derive(Debug, Clone, Copy)]
+pub struct CgpaConfig {
+    /// Parallel-stage worker count (power of two).
+    pub workers: u32,
+    /// P1 (pipelined) vs P2 (replicated) placement of heavyweight
+    /// replicable sections.
+    pub placement: ReplicablePlacement,
+    /// Partition heuristics.
+    pub partition: PartitionConfig,
+}
+
+impl Default for CgpaConfig {
+    fn default() -> Self {
+        CgpaConfig {
+            workers: 4,
+            placement: ReplicablePlacement::Pipelined,
+            partition: PartitionConfig::default(),
+        }
+    }
+}
+
+/// A compiled kernel: the pipeline, schedules, and analysis artifacts.
+#[derive(Debug)]
+pub struct Compiled {
+    /// The transformed pipeline (tasks + queues + parent).
+    pub pipeline: PipelineModule,
+    /// The partition.
+    pub plan: PipelinePlan,
+    /// Table 2 shape string ("S-P-S", …).
+    pub shape: String,
+    /// FSM per task function (module function order).
+    pub fsms: Vec<Fsm>,
+    /// The PDG (kept for reporting/examples).
+    pub pdg: Pdg,
+    /// SCC condensation.
+    pub condensation: Condensation,
+    /// SCC classification.
+    pub classification: SccClassification,
+}
+
+/// Compilation failure.
+#[derive(Debug)]
+pub enum CompileError {
+    /// The function does not have exactly one outermost loop.
+    NoTargetLoop,
+    /// Partitioning failed.
+    Partition(PartitionError),
+    /// Transform failed.
+    Transform(TransformError),
+    /// A generated task failed schedule verification (internal bug guard).
+    Schedule(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::NoTargetLoop => f.write_str("kernel must have one outermost loop"),
+            CompileError::Partition(e) => write!(f, "partition: {e}"),
+            CompileError::Transform(e) => write!(f, "transform: {e}"),
+            CompileError::Schedule(e) => write!(f, "schedule: {e}"),
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+impl From<PartitionError> for CompileError {
+    fn from(e: PartitionError) -> Self {
+        CompileError::Partition(e)
+    }
+}
+
+impl From<TransformError> for CompileError {
+    fn from(e: TransformError) -> Self {
+        CompileError::Transform(e)
+    }
+}
+
+/// The compiler.
+#[derive(Debug, Clone, Default)]
+pub struct CgpaCompiler {
+    /// Configuration.
+    pub config: CgpaConfig,
+}
+
+impl CgpaCompiler {
+    /// Create a compiler with `config`.
+    #[must_use]
+    pub fn new(config: CgpaConfig) -> Self {
+        CgpaCompiler { config }
+    }
+
+    /// Run the full flow on `func` with the kernel's alias facts.
+    ///
+    /// # Errors
+    /// See [`CompileError`].
+    pub fn compile(&self, func: &Function, model: &MemoryModel) -> Result<Compiled, CompileError> {
+        let cfg = Cfg::new(func);
+        let dom = DomTree::dominators(func, &cfg);
+        let li = LoopInfo::compute(func, &cfg, &dom);
+        let target = li.single_outermost().ok_or(CompileError::NoTargetLoop)?;
+        let pt = PointsTo::compute(func, model);
+        let pdg = build_pdg(func, &cfg, target, &pt, model);
+        let condensation = Condensation::compute(&pdg);
+        let classification = classify_sccs(func, &pdg, &condensation);
+        let mut pconfig = self.config.partition;
+        pconfig.placement = self.config.placement;
+        let plan = partition_loop(func, &pdg, &condensation, &classification, pconfig)?;
+        let shape = plan.shape();
+        let pipeline = transform_loop(
+            func,
+            &cfg,
+            target,
+            &pdg,
+            &condensation,
+            &plan,
+            TransformConfig { workers: self.config.workers, loop_id: 0 },
+        )?;
+        let mut fsms = Vec::new();
+        for f in &pipeline.module.funcs {
+            let fsm = schedule_function(f);
+            verify_schedule(f, &fsm).map_err(|e| CompileError::Schedule(e.to_string()))?;
+            fsms.push(fsm);
+        }
+        Ok(Compiled { pipeline, plan, shape, fsms, pdg, condensation, classification })
+    }
+
+    /// Emit the complete Verilog design: the primitive library, one module
+    /// per worker, the top-level accelerator, and the testbench (§3.4,
+    /// "Verilog Generation").
+    #[must_use]
+    pub fn emit_verilog(&self, compiled: &Compiled) -> String {
+        let mut out = String::new();
+        out.push_str(&verilog::emit_fifo_library());
+        out.push('\n');
+        let mut worker_insts = Vec::new();
+        for task in &compiled.pipeline.tasks {
+            let f = &compiled.pipeline.module.funcs[task.func_index];
+            let fsm = &compiled.fsms[task.func_index];
+            out.push_str(&verilog::emit_worker(f, fsm, &task.name));
+            out.push('\n');
+            let count = match task.kind {
+                StageKind::Sequential => 1,
+                StageKind::Parallel => compiled.pipeline.workers,
+            };
+            worker_insts.push((task.name.clone(), count));
+        }
+        let channels: Vec<(String, u32, u32)> = compiled
+            .pipeline
+            .queues
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                let info = compiled.pipeline.module.queue(q.queue);
+                (format!("q{i}"), 32, info.channels)
+            })
+            .collect();
+        let top_name = format!("{}_acc", compiled.pipeline.module.name);
+        out.push_str(&verilog::emit_top(&top_name, &worker_insts, &channels));
+        out.push('\n');
+        out.push_str(&verilog::emit_testbench(&top_name));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgpa_kernels::{em3d, gaussblur, hash_index, kmeans, ks};
+
+    #[test]
+    fn compiles_every_benchmark_to_table2_shapes() {
+        let compiler = CgpaCompiler::default();
+        let cases: Vec<(cgpa_kernels::BuiltKernel, &str)> = vec![
+            (kmeans::build(&kmeans::Params { points: 16, clusters: 3, features: 4 }, 1), "P-S"),
+            (
+                hash_index::build(&hash_index::Params { items: 16, buckets: 8, scatter: 4 }, 1),
+                "S-P-S",
+            ),
+            (ks::build(&ks::Params { a_cells: 6, b_cells: 6, scatter: 4 }, 1), "S-P-S"),
+            (em3d::build(&em3d::Params::fixed(8, 8, 3, 4), 1), "S-P"),
+            (gaussblur::build(&gaussblur::Params { width: 32 }, 1), "S-P"),
+        ];
+        for (k, expect) in cases {
+            let c = compiler.compile(&k.func, &k.model).unwrap();
+            assert_eq!(c.shape, expect, "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn verilog_contains_library_workers_top_and_testbench() {
+        let k = em3d::build(&em3d::Params::fixed(8, 8, 3, 4), 1);
+        let compiler = CgpaCompiler::default();
+        let c = compiler.compile(&k.func, &k.model).unwrap();
+        let v = compiler.emit_verilog(&c);
+        assert!(v.contains("module cgpa_fifo"));
+        assert!(v.contains("module em3d_stage0"));
+        assert!(v.contains("module em3d_stage1"));
+        assert!(v.contains("module em3d_pipeline_acc"));
+        assert!(v.contains("module tb_em3d_pipeline_acc"));
+        // 4 parallel workers instantiated.
+        assert_eq!(v.matches("em3d_stage1 em3d_stage1_u").count(), 4);
+    }
+
+    #[test]
+    fn straightline_function_is_rejected() {
+        let mut b = cgpa_ir::FunctionBuilder::new("s", &[], None);
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let err = CgpaCompiler::default().compile(&f, &cgpa_analysis::MemoryModel::new());
+        assert!(matches!(err, Err(CompileError::NoTargetLoop)));
+    }
+}
+
+/// A whole program compiled loop by loop: every outermost loop becomes its
+/// own pipelined accelerator (own `loop_id`, own task module and queues);
+/// the final parent invokes them in order via `parallel_fork`/`join` —
+/// this is where scheduling constraint 2 (eq. 2: forks of different loops
+/// never share a cycle) becomes observable.
+#[derive(Debug)]
+pub struct CompiledProgram {
+    /// One compiled pipeline per accelerated loop, in program order;
+    /// `accelerators[i]` has `loop_id == i`.
+    pub accelerators: Vec<Compiled>,
+    /// The fully rewritten parent (every loop replaced by fork/join).
+    pub parent: Function,
+}
+
+impl CgpaCompiler {
+    /// Compile *every* outermost loop of `func` into its own accelerator
+    /// (paper Figure 3: the profiling step identifies multiple hotspots).
+    ///
+    /// Loops are compiled in header order. Liveout register slots are
+    /// shared hardware: each loop numbers its slots from 0, and the parent
+    /// retrieves a loop's liveouts before forking the next.
+    ///
+    /// # Errors
+    /// Fails if any loop fails to compile (see [`CompileError`]); a
+    /// function with no loops reports [`CompileError::NoTargetLoop`].
+    pub fn compile_program(
+        &self,
+        func: &Function,
+        model: &MemoryModel,
+    ) -> Result<CompiledProgram, CompileError> {
+        let mut accelerators = Vec::new();
+        let mut current = func.clone();
+        loop {
+            let cfg = Cfg::new(&current);
+            let dom = DomTree::dominators(&current, &cfg);
+            let li = LoopInfo::compute(&current, &cfg, &dom);
+            let Some(target) = li.loops().iter().find(|l| l.depth == 1) else { break };
+            let target = target.clone();
+            let pt = cgpa_analysis::alias::PointsTo::compute(&current, model);
+            let pdg = build_pdg(&current, &cfg, &target, &pt, model);
+            let condensation = Condensation::compute(&pdg);
+            let classification = classify_sccs(&current, &pdg, &condensation);
+            let mut pconfig = self.config.partition;
+            pconfig.placement = self.config.placement;
+            let plan = partition_loop(&current, &pdg, &condensation, &classification, pconfig)?;
+            let shape = plan.shape();
+            let pipeline = transform_loop(
+                &current,
+                &cfg,
+                &target,
+                &pdg,
+                &condensation,
+                &plan,
+                TransformConfig {
+                    workers: self.config.workers,
+                    loop_id: accelerators.len() as u32,
+                },
+            )?;
+            let mut fsms = Vec::new();
+            for f in &pipeline.module.funcs {
+                let fsm = schedule_function(f);
+                verify_schedule(f, &fsm).map_err(|e| CompileError::Schedule(e.to_string()))?;
+                fsms.push(fsm);
+            }
+            current = pipeline.parent.clone();
+            accelerators.push(Compiled {
+                pipeline,
+                plan,
+                shape,
+                fsms,
+                pdg,
+                condensation,
+                classification,
+            });
+        }
+        if accelerators.is_empty() {
+            return Err(CompileError::NoTargetLoop);
+        }
+        // The final parent must itself satisfy the scheduling constraints
+        // (one fork per state, different loops in different cycles).
+        let parent_fsm = schedule_function(&current);
+        verify_schedule(&current, &parent_fsm)
+            .map_err(|e| CompileError::Schedule(format!("parent: {e}")))?;
+        Ok(CompiledProgram { accelerators, parent: current })
+    }
+}

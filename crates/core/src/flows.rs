@@ -1,0 +1,368 @@
+//! The three evaluation configurations of paper §4.1:
+//!
+//! 1. **MIPS** — the kernel runs on the MIPS soft core.
+//! 2. **LegUp** — sequential HLS: the whole kernel becomes one FSM worker
+//!    with one cache port.
+//! 3. **CGPA** — the coarse-grained pipeline (P1 or P2), with one cache
+//!    port per worker.
+//!
+//! Every hardware flow validates the final memory image and return value
+//! against the functional reference before reporting numbers.
+
+use crate::compiler::{CgpaCompiler, CgpaConfig, CompileError, Compiled};
+use cgpa_kernels::BuiltKernel;
+use cgpa_pipeline::StageKind;
+use cgpa_rtl::area::{estimate_area, fifo_area, AreaModel, AreaReport};
+use cgpa_rtl::power::{evaluate, energy_efficiency, ActivityTrace, PowerModel, PowerReport};
+use cgpa_rtl::schedule::schedule_function;
+use cgpa_sim::cache::CacheConfig;
+use cgpa_sim::interp::run_with_accelerator;
+use cgpa_sim::mips::{run_mips as sim_run_mips, MipsConfig};
+use cgpa_sim::{HwConfig, HwError, HwSystem, SimMemory, SystemStats, Value};
+use std::error::Error;
+use std::fmt;
+
+/// Result of one kernel run under one configuration.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Configuration label ("MIPS", "LegUp", "CGPA(P1)", "CGPA(P2)").
+    pub config: String,
+    /// Kernel cycles.
+    pub cycles: u64,
+    /// ALUT usage (0 for the MIPS flow — the core is not synthesized per
+    /// kernel).
+    pub alut: u32,
+    /// Average power in mW (accelerator flows only).
+    pub power_mw: f64,
+    /// Energy in µJ.
+    pub energy_uj: f64,
+    /// Energy efficiency (loop iterations per µJ; see EXPERIMENTS.md).
+    pub efficiency: f64,
+    /// Pipeline shape, when applicable.
+    pub shape: Option<String>,
+    /// Detailed simulator statistics, when applicable.
+    pub stats: Option<SystemStats>,
+}
+
+/// Flow failure.
+#[derive(Debug)]
+pub enum FlowError {
+    /// Compilation failed.
+    Compile(CompileError),
+    /// Simulation failed.
+    Hw(HwError),
+    /// Interpretation failed.
+    Interp(String),
+    /// The hardware result disagrees with the reference (a correctness bug).
+    Mismatch(String),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Compile(e) => write!(f, "compile: {e}"),
+            FlowError::Hw(e) => write!(f, "simulate: {e}"),
+            FlowError::Interp(e) => write!(f, "interpret: {e}"),
+            FlowError::Mismatch(e) => write!(f, "verification: {e}"),
+        }
+    }
+}
+
+impl Error for FlowError {}
+
+impl From<CompileError> for FlowError {
+    fn from(e: CompileError) -> Self {
+        FlowError::Compile(e)
+    }
+}
+
+impl From<HwError> for FlowError {
+    fn from(e: HwError) -> Self {
+        FlowError::Hw(e)
+    }
+}
+
+/// Run the kernel on the MIPS soft-core model.
+///
+/// # Errors
+/// [`FlowError::Interp`] on interpreter failures.
+pub fn run_mips(k: &BuiltKernel) -> Result<RunResult, FlowError> {
+    let mut mem = k.mem.clone();
+    let run = sim_run_mips(&k.func, &k.args, &mut mem, 4_000_000_000, &MipsConfig::default())
+        .map_err(|e| FlowError::Interp(e.to_string()))?;
+    Ok(RunResult {
+        config: "MIPS".to_string(),
+        cycles: run.cycles,
+        alut: 0,
+        power_mw: 0.0,
+        energy_uj: 0.0,
+        efficiency: 0.0,
+        shape: None,
+        stats: None,
+    })
+}
+
+/// Run the kernel as a LegUp-style sequential accelerator: one FSM worker,
+/// one cache port.
+///
+/// # Errors
+/// See [`FlowError`]. The run is verified against the functional reference.
+pub fn run_legup(k: &BuiltKernel) -> Result<RunResult, FlowError> {
+    let cfg = HwConfig {
+        cache: CacheConfig { banks: 1, ..CacheConfig::default() },
+        ..HwConfig::default()
+    };
+    let mut mem = k.mem.clone();
+    let mut sys = HwSystem::for_single(&k.func, &k.args, cfg);
+    let stats = sys.run(&mut mem)?;
+    verify_memory(k, &mem, sys.ret_value())?;
+
+    let fsm = schedule_function(&k.func);
+    let amodel = AreaModel::default();
+    let area = estimate_area(&amodel, &k.func, &fsm);
+    let pmodel = PowerModel::default();
+    let trace = ActivityTrace {
+        cycles: stats.cycles,
+        workers: vec![(area.clone(), stats.workers[0].busy)],
+        fifo_beats: 0,
+        cache_accesses: stats.cache.accesses,
+        cache_ports: 1,
+        fifo_area: AreaReport::default(),
+    };
+    let power = evaluate(&pmodel, &trace);
+    Ok(RunResult {
+        config: "LegUp".to_string(),
+        cycles: stats.cycles,
+        alut: area.total(),
+        power_mw: power.power_mw,
+        energy_uj: power.energy_uj,
+        efficiency: energy_efficiency(k.iterations, &power),
+        shape: None,
+        stats: Some(stats),
+    })
+}
+
+/// Microarchitectural knobs for ablation studies (the paper fixes these in
+/// §4.1: FIFO depth 16, and discusses the memory system in Appendix B).
+#[derive(Debug, Clone, Copy)]
+pub struct HwTuning {
+    /// FIFO depth per channel in 32-bit beats.
+    pub fifo_depth_beats: usize,
+    /// Cache miss latency in cycles.
+    pub miss_latency: u32,
+}
+
+impl Default for HwTuning {
+    fn default() -> Self {
+        HwTuning { fifo_depth_beats: 16, miss_latency: CacheConfig::default().miss_latency }
+    }
+}
+
+/// Run the kernel as a CGPA pipelined accelerator.
+///
+/// # Errors
+/// See [`FlowError`]. The run is verified against the functional reference.
+pub fn run_cgpa(k: &BuiltKernel, config: CgpaConfig) -> Result<RunResult, FlowError> {
+    run_cgpa_tuned(k, config, HwTuning::default())
+}
+
+/// [`run_cgpa`] with explicit microarchitectural knobs.
+///
+/// # Errors
+/// See [`FlowError`].
+pub fn run_cgpa_tuned(
+    k: &BuiltKernel,
+    config: CgpaConfig,
+    tuning: HwTuning,
+) -> Result<RunResult, FlowError> {
+    let compiler = CgpaCompiler::new(config);
+    let compiled = compiler.compile(&k.func, &k.model)?;
+    run_compiled_tuned(k, &compiled, config, tuning)
+}
+
+/// Run an already-compiled pipeline (lets callers reuse one compile across
+/// sweeps).
+///
+/// # Errors
+/// See [`FlowError`].
+pub fn run_compiled(
+    k: &BuiltKernel,
+    compiled: &Compiled,
+    config: CgpaConfig,
+) -> Result<RunResult, FlowError> {
+    run_compiled_tuned(k, compiled, config, HwTuning::default())
+}
+
+/// [`run_compiled`] with explicit microarchitectural knobs.
+///
+/// # Errors
+/// See [`FlowError`].
+pub fn run_compiled_tuned(
+    k: &BuiltKernel,
+    compiled: &Compiled,
+    config: CgpaConfig,
+    tuning: HwTuning,
+) -> Result<RunResult, FlowError> {
+    // One cache port per worker (paper §3.1: dedicated memory ports), up to
+    // the 8-port cache of §4.1.
+    let worker_count: u32 = compiled
+        .pipeline
+        .tasks
+        .iter()
+        .map(|t| match t.kind {
+            StageKind::Sequential => 1,
+            StageKind::Parallel => compiled.pipeline.workers,
+        })
+        .sum();
+    let hw_cfg = HwConfig {
+        cache: CacheConfig {
+            banks: worker_count.clamp(1, 8),
+            miss_latency: tuning.miss_latency,
+            ..CacheConfig::default()
+        },
+        fifo_depth_beats: tuning.fifo_depth_beats,
+        ..HwConfig::default()
+    };
+
+    let mut mem = k.mem.clone();
+    let mut captured: Option<SystemStats> = None;
+    let mut hw_err: Option<HwError> = None;
+    let pm = &compiled.pipeline;
+    let (ret, _) = run_with_accelerator(
+        &pm.parent,
+        &k.args,
+        &mut mem,
+        4_000_000_000,
+        &mut |_loop_id: u32, live_ins: &[Value], mem: &mut SimMemory| {
+            let mut sys = HwSystem::for_pipeline(pm, live_ins, hw_cfg);
+            match sys.run(mem) {
+                Ok(stats) => {
+                    captured = Some(stats);
+                    Ok(sys.liveouts().to_vec())
+                }
+                Err(e) => {
+                    hw_err = Some(e.clone());
+                    Err(e.to_string())
+                }
+            }
+        },
+    )
+    .map_err(|e| match hw_err.take() {
+        Some(h) => FlowError::Hw(h),
+        None => FlowError::Interp(e.to_string()),
+    })?;
+    let stats = captured.ok_or_else(|| FlowError::Interp("fork never executed".to_string()))?;
+    verify_memory(k, &mem, ret)?;
+
+    // Area: one instance per sequential stage, `workers` instances of the
+    // parallel stage, FIFO channel control.
+    let amodel = AreaModel::default();
+    let mut worker_areas: Vec<AreaReport> = Vec::new();
+    for task in &pm.tasks {
+        let f = &pm.module.funcs[task.func_index];
+        let fsm = &compiled.fsms[task.func_index];
+        let a = estimate_area(&amodel, f, fsm);
+        let count = match task.kind {
+            StageKind::Sequential => 1,
+            StageKind::Parallel => pm.workers,
+        };
+        for _ in 0..count {
+            worker_areas.push(a.clone());
+        }
+    }
+    let channels: u32 = pm
+        .queues
+        .iter()
+        .map(|q| pm.module.queue(q.queue).channels)
+        .sum();
+    let fifo = fifo_area(&amodel, channels);
+    let total_alut: u32 =
+        worker_areas.iter().map(AreaReport::total).sum::<u32>() + fifo.total();
+
+    let pmodel = PowerModel::default();
+    let trace = ActivityTrace {
+        cycles: stats.cycles,
+        workers: worker_areas
+            .iter()
+            .cloned()
+            .zip(stats.workers.iter().map(|w| w.busy))
+            .collect(),
+        fifo_beats: stats.fifo_beats,
+        cache_accesses: stats.cache.accesses,
+        cache_ports: worker_count.clamp(1, 8),
+        fifo_area: fifo,
+    };
+    let power: PowerReport = evaluate(&pmodel, &trace);
+    let label = match config.placement {
+        cgpa_pipeline::ReplicablePlacement::Pipelined => "CGPA(P1)",
+        cgpa_pipeline::ReplicablePlacement::Replicated => "CGPA(P2)",
+    };
+    Ok(RunResult {
+        config: label.to_string(),
+        cycles: stats.cycles,
+        alut: total_alut,
+        power_mw: power.power_mw,
+        energy_uj: power.energy_uj,
+        efficiency: energy_efficiency(k.iterations, &power),
+        shape: Some(compiled.shape.clone()),
+        stats: Some(stats),
+    })
+}
+
+/// Compare a hardware run's memory and return value against the reference.
+fn verify_memory(k: &BuiltKernel, mem: &SimMemory, ret: Option<Value>) -> Result<(), FlowError> {
+    let (ref_mem, ref_ret) = k.reference();
+    if mem.read_bytes(0, mem.size()) != ref_mem.read_bytes(0, ref_mem.size()) {
+        let diffs = cgpa_sim::diff_memories(mem, &ref_mem, 8);
+        return Err(FlowError::Mismatch(format!(
+            "{}: memory state differs\n{}",
+            k.name,
+            cgpa_sim::render_diffs(&diffs, None)
+        )));
+    }
+    if ret != ref_ret {
+        return Err(FlowError::Mismatch(format!(
+            "{}: return value {ret:?} != {ref_ret:?}",
+            k.name
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgpa_kernels::em3d;
+
+    fn small_em3d() -> BuiltKernel {
+        em3d::build(&em3d::Params::fixed(60, 60, 4, 16), 5)
+    }
+
+    #[test]
+    fn all_three_flows_agree_and_rank_as_expected() {
+        let k = small_em3d();
+        let mips = run_mips(&k).unwrap();
+        let legup = run_legup(&k).unwrap();
+        let cgpa = run_cgpa(&k, CgpaConfig::default()).unwrap();
+        assert!(mips.cycles > legup.cycles, "specialization wins: {mips:?} vs {legup:?}");
+        assert!(legup.cycles > cgpa.cycles, "pipelining wins: {} vs {}", legup.cycles, cgpa.cycles);
+        assert_eq!(cgpa.shape.as_deref(), Some("S-P"));
+        // CGPA area exceeds LegUp (4 workers + FIFOs).
+        assert!(cgpa.alut > 2 * legup.alut);
+        // Power and energy populated.
+        assert!(cgpa.power_mw > legup.power_mw);
+        assert!(legup.energy_uj > 0.0);
+    }
+
+    #[test]
+    fn p2_runs_and_is_labelled() {
+        let k = small_em3d();
+        let cfg = CgpaConfig {
+            placement: cgpa_pipeline::ReplicablePlacement::Replicated,
+            ..CgpaConfig::default()
+        };
+        let r = run_cgpa(&k, cfg).unwrap();
+        assert_eq!(r.config, "CGPA(P2)");
+        assert_eq!(r.shape.as_deref(), Some("P"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Robustness: multiple seeds, degenerate workloads, and adversarial data
+//! through the complete compile-and-simulate flow. Every run must verify
+//! bit-exactly against the reference.
+
+use cgpa::compiler::CgpaConfig;
+use cgpa::flows::run_cgpa;
+use cgpa_kernels::{em3d, gaussblur, hash_index, kmeans, ks};
+
+#[test]
+fn all_kernels_verify_across_seeds() {
+    for seed in [1u64, 2, 3, 11, 99] {
+        let kernels = vec![
+            kmeans::build(&kmeans::Params { points: 24, clusters: 3, features: 5 }, seed),
+            hash_index::build(&hash_index::Params { items: 48, buckets: 16, scatter: 12 }, seed),
+            ks::build(&ks::Params { a_cells: 8, b_cells: 9, scatter: 8 }, seed),
+            em3d::build(
+                &em3d::Params { e_nodes: 24, h_nodes: 24, degree: 6, degree_min: 1, scatter: 12 },
+                seed,
+            ),
+            gaussblur::build(&gaussblur::Params { width: 64 }, seed),
+        ];
+        for k in kernels {
+            run_cgpa(&k, CgpaConfig::default())
+                .unwrap_or_else(|e| panic!("{} seed {seed}: {e}", k.name));
+        }
+    }
+}
+
+#[test]
+fn skewed_hash_keys_serialize_correctly() {
+    // All keys identical: every item chains into one bucket — the
+    // worst-case loop-carried dependence for the sequential stage. Must
+    // still verify (the inserted order is the list order).
+    let mut k = hash_index::build(&hash_index::Params { items: 40, buckets: 16, scatter: 8 }, 4);
+    let mut p = k.args[0].as_ptr();
+    while p != 0 {
+        k.mem.write_i32(p, 0x1234_5678);
+        p = k.mem.read_ptr(p + hash_index::OFF_NEXT as u32);
+    }
+    let r = run_cgpa(&k, CgpaConfig::default()).expect("skewed run verifies");
+    assert!(r.cycles > 0);
+}
+
+#[test]
+fn single_iteration_loops_still_pipeline() {
+    // One outer iteration with 4 workers: 3 workers only ever run the
+    // reduced body and exit.
+    let k = gaussblur::build(&gaussblur::Params { width: 5 }, 1);
+    let r = run_cgpa(&k, CgpaConfig::default()).expect("tiny run verifies");
+    assert!(r.cycles > 0 && r.cycles < 400, "cycles = {}", r.cycles);
+}
+
+#[test]
+fn single_cluster_kmeans_degenerates_gracefully() {
+    let k = kmeans::build(&kmeans::Params { points: 12, clusters: 1, features: 3 }, 6);
+    let r = run_cgpa(&k, CgpaConfig::default()).expect("one-cluster run verifies");
+    assert_eq!(r.shape.as_deref(), Some("P-S"));
+}
+
+#[test]
+fn zero_degree_em3d_nodes_do_no_updates() {
+    let k = em3d::build(
+        &em3d::Params { e_nodes: 10, h_nodes: 4, degree: 0, degree_min: 0, scatter: 4 },
+        2,
+    );
+    // from_count == 0 for every node: the parallel section's inner loop
+    // never runs, but control equivalence must still terminate the
+    // pipeline.
+    run_cgpa(&k, CgpaConfig::default()).expect("zero-degree run verifies");
+}
+
+#[test]
+fn sixteen_workers_still_verify() {
+    let k = em3d::build(
+        &em3d::Params { e_nodes: 40, h_nodes: 40, degree: 6, degree_min: 2, scatter: 8 },
+        3,
+    );
+    let r = run_cgpa(&k, CgpaConfig { workers: 16, ..CgpaConfig::default() })
+        .expect("16-worker run verifies");
+    assert!(r.cycles > 0);
+}

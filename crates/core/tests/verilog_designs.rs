@@ -1,0 +1,70 @@
+//! Structural checks on the emitted Verilog for every benchmark (the
+//! paper's §3.4 backend deliverable).
+
+use cgpa::compiler::{CgpaCompiler, CgpaConfig};
+use cgpa_kernels::{em3d, gaussblur, hash_index, kmeans, ks, BuiltKernel};
+use cgpa_pipeline::StageKind;
+
+fn small(name: &str) -> BuiltKernel {
+    match name {
+        "kmeans" => kmeans::build(&kmeans::Params { points: 16, clusters: 3, features: 4 }, 1),
+        "hash_index" => {
+            hash_index::build(&hash_index::Params { items: 16, buckets: 8, scatter: 4 }, 1)
+        }
+        "ks" => ks::build(&ks::Params { a_cells: 6, b_cells: 6, scatter: 4 }, 1),
+        "em3d" => em3d::build(&em3d::Params::fixed(8, 8, 3, 4), 1),
+        "gaussblur" => gaussblur::build(&gaussblur::Params { width: 32 }, 1),
+        other => panic!("unknown kernel {other}"),
+    }
+}
+
+#[test]
+fn every_kernel_emits_a_complete_design() {
+    let compiler = CgpaCompiler::new(CgpaConfig::default());
+    for name in ["kmeans", "hash_index", "ks", "em3d", "gaussblur"] {
+        let k = small(name);
+        let c = compiler.compile(&k.func, &k.model).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let v = compiler.emit_verilog(&c);
+
+        // The primitive library, exactly one FIFO module definition.
+        assert_eq!(v.matches("module cgpa_fifo").count(), 1, "{name}");
+        // One module per stage task, each instantiated the right number of
+        // times in the top level.
+        for t in &c.pipeline.tasks {
+            assert!(v.contains(&format!("module {}", t.name)), "{name}: missing {}", t.name);
+            let expected = match t.kind {
+                StageKind::Sequential => 1,
+                StageKind::Parallel => c.pipeline.workers,
+            };
+            let inst_count = v.matches(&format!("{} {}_u", t.name, t.name)).count();
+            assert_eq!(inst_count as u32, expected, "{name}: {} instances", t.name);
+        }
+        // One FIFO instance per channel.
+        let channels: u32 =
+            c.pipeline.queues.iter().map(|q| c.pipeline.module.queue(q.queue).channels).sum();
+        assert_eq!(v.matches("cgpa_fifo #(.WIDTH").count() as u32, channels, "{name}: fifo instances");
+        // Top and testbench close properly.
+        assert!(v.contains(&format!("module {}_acc", c.pipeline.module.name)), "{name}");
+        assert!(v.contains(&format!("module tb_{}_acc", c.pipeline.module.name)), "{name}");
+        let opens = v.matches("\nmodule ").count() + usize::from(v.starts_with("module "));
+        let closes = v.matches("endmodule").count();
+        assert_eq!(opens, closes, "{name}: unbalanced modules");
+        // Every queue op rendered with its queue id.
+        for q in &c.pipeline.queues {
+            assert!(
+                v.contains(&format!("8'd{}", q.queue.0)),
+                "{name}: queue {} never referenced",
+                q.queue
+            );
+        }
+    }
+}
+
+#[test]
+fn verilog_is_deterministic() {
+    let compiler = CgpaCompiler::new(CgpaConfig::default());
+    let k = small("em3d");
+    let c1 = compiler.compile(&k.func, &k.model).unwrap();
+    let c2 = compiler.compile(&k.func, &k.model).unwrap();
+    assert_eq!(compiler.emit_verilog(&c1), compiler.emit_verilog(&c2));
+}

@@ -1,0 +1,366 @@
+//! Ergonomic construction of [`Function`]s.
+//!
+//! The builder is how kernels are authored in this reproduction (the paper's
+//! clang/LLVM frontend is substituted by direct IR construction; see
+//! DESIGN.md §2). It also serves the pipeline transform when it synthesizes
+//! task functions.
+
+use crate::function::{Block, BlockId, Function, QueueId};
+use crate::inst::{BinOp, CastKind, FloatPredicate, InstId, IntPredicate, Op};
+use crate::types::Ty;
+use crate::value::{Const, ValueDef, ValueId};
+use crate::verify::{self, VerifyError};
+
+/// Incremental builder for a [`Function`].
+///
+/// Typical usage: create blocks with [`append_block`], position the insertion
+/// point with [`switch_to`], then emit instructions. Phi nodes are created
+/// empty with [`phi`] and completed with [`add_phi_incoming`] once the
+/// incoming values exist. [`finish`] runs the verifier.
+///
+/// [`append_block`]: FunctionBuilder::append_block
+/// [`switch_to`]: FunctionBuilder::switch_to
+/// [`phi`]: FunctionBuilder::phi
+/// [`add_phi_incoming`]: FunctionBuilder::add_phi_incoming
+/// [`finish`]: FunctionBuilder::finish
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    cursor: BlockId,
+}
+
+impl FunctionBuilder {
+    /// Start a function named `name` with the given parameters and return
+    /// type. An entry block is created automatically.
+    #[must_use]
+    pub fn new(name: &str, params: &[(&str, Ty)], ret_ty: Option<Ty>) -> Self {
+        let values = params
+            .iter()
+            .enumerate()
+            .map(|(i, (_, ty))| ValueDef::Param { index: i as u32, ty: *ty })
+            .collect();
+        let func = Function {
+            name: name.to_string(),
+            params: params.iter().map(|(n, t)| ((*n).to_string(), *t)).collect(),
+            ret_ty,
+            blocks: vec![Block { name: "entry".to_string(), insts: Vec::new(), freq_hint: 1.0 }],
+            insts: Vec::new(),
+            values,
+            worker_id_param: None,
+        };
+        FunctionBuilder { func, cursor: BlockId(0) }
+    }
+
+    /// Mark parameter `index` as the worker-id input of a parallel-stage
+    /// task.
+    pub fn set_worker_id_param(&mut self, index: u32) {
+        self.func.worker_id_param = Some(index);
+    }
+
+    /// The entry block id.
+    #[must_use]
+    pub fn entry_block(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Value id of parameter `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn param(&self, index: u32) -> ValueId {
+        self.func.param_value(index)
+    }
+
+    /// Create a new empty block.
+    pub fn append_block(&mut self, name: &str) -> BlockId {
+        let id = BlockId(self.func.blocks.len() as u32);
+        self.func.blocks.push(Block { name: name.to_string(), insts: Vec::new(), freq_hint: 1.0 });
+        id
+    }
+
+    /// Set the partitioner frequency hint of `block` (e.g. average inner-loop
+    /// trip count relative to one outer iteration).
+    pub fn set_freq_hint(&mut self, block: BlockId, hint: f64) {
+        self.func.blocks[block.index()].freq_hint = hint;
+    }
+
+    /// Move the insertion point to `block`.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.cursor = block;
+    }
+
+    /// The current insertion block.
+    #[must_use]
+    pub fn current_block(&self) -> BlockId {
+        self.cursor
+    }
+
+    fn emit(&mut self, op: Op, name: Option<&str>) -> (InstId, Option<ValueId>) {
+        self.func.push_inst(self.cursor, op, name.map(str::to_string))
+    }
+
+    fn emit_valued(&mut self, op: Op, name: Option<&str>) -> ValueId {
+        self.emit(op, name).1.expect("operation must produce a value")
+    }
+
+    // ---- constants -------------------------------------------------------
+
+    /// Intern an `i32` constant.
+    pub fn const_i32(&mut self, v: i32) -> ValueId {
+        self.func.intern_const(Const::I32(v))
+    }
+
+    /// Intern an `i64` constant.
+    pub fn const_i64(&mut self, v: i64) -> ValueId {
+        self.func.intern_const(Const::I64(v))
+    }
+
+    /// Intern an `f32` constant.
+    pub fn const_f32(&mut self, v: f32) -> ValueId {
+        self.func.intern_const(Const::F32(v))
+    }
+
+    /// Intern an `f64` constant.
+    pub fn const_f64(&mut self, v: f64) -> ValueId {
+        self.func.intern_const(Const::F64(v))
+    }
+
+    /// Intern a pointer constant (`0` is null).
+    pub fn const_ptr(&mut self, v: u32) -> ValueId {
+        self.func.intern_const(Const::Ptr(v))
+    }
+
+    /// Intern a boolean constant.
+    pub fn const_bool(&mut self, v: bool) -> ValueId {
+        self.func.intern_const(Const::I1(v))
+    }
+
+    // ---- arithmetic ------------------------------------------------------
+
+    /// Emit a binary operation.
+    pub fn binary(&mut self, op: BinOp, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.emit_valued(Op::Binary { op, lhs, rhs }, None)
+    }
+
+    /// Emit a named binary operation (name shows up in printing/Verilog).
+    pub fn binary_named(&mut self, op: BinOp, lhs: ValueId, rhs: ValueId, name: &str) -> ValueId {
+        self.emit_valued(Op::Binary { op, lhs, rhs }, Some(name))
+    }
+
+    /// Emit an integer comparison.
+    pub fn icmp(&mut self, pred: IntPredicate, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.emit_valued(Op::ICmp { pred, lhs, rhs }, None)
+    }
+
+    /// Emit a float comparison.
+    pub fn fcmp(&mut self, pred: FloatPredicate, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.emit_valued(Op::FCmp { pred, lhs, rhs }, None)
+    }
+
+    /// Emit a select.
+    pub fn select(&mut self, cond: ValueId, on_true: ValueId, on_false: ValueId) -> ValueId {
+        self.emit_valued(Op::Select { cond, on_true, on_false }, None)
+    }
+
+    /// Emit a cast.
+    pub fn cast(&mut self, kind: CastKind, value: ValueId, to: Ty) -> ValueId {
+        self.emit_valued(Op::Cast { kind, value, to }, None)
+    }
+
+    // ---- memory ----------------------------------------------------------
+
+    /// Emit a load of `ty` from `addr`.
+    pub fn load(&mut self, addr: ValueId, ty: Ty) -> ValueId {
+        self.emit_valued(Op::Load { addr, ty }, None)
+    }
+
+    /// Emit a named load.
+    pub fn load_named(&mut self, addr: ValueId, ty: Ty, name: &str) -> ValueId {
+        self.emit_valued(Op::Load { addr, ty }, Some(name))
+    }
+
+    /// Emit a store of `value` to `addr`.
+    pub fn store(&mut self, addr: ValueId, value: ValueId) -> InstId {
+        self.emit(Op::Store { addr, value }, None).0
+    }
+
+    /// Emit `base + index * scale + offset` (byte arithmetic).
+    pub fn gep(&mut self, base: ValueId, index: ValueId, scale: u32, offset: i32) -> ValueId {
+        self.emit_valued(Op::Gep { base, index: Some(index), scale, offset }, None)
+    }
+
+    /// Emit `base + offset` (struct-field address).
+    pub fn field(&mut self, base: ValueId, offset: i32) -> ValueId {
+        self.emit_valued(Op::Gep { base, index: None, scale: 0, offset }, None)
+    }
+
+    // ---- control flow ----------------------------------------------------
+
+    /// Emit an unconditional branch.
+    pub fn br(&mut self, target: BlockId) -> InstId {
+        self.emit(Op::Br { target }, None).0
+    }
+
+    /// Emit a conditional branch.
+    pub fn cond_br(&mut self, cond: ValueId, on_true: BlockId, on_false: BlockId) -> InstId {
+        self.emit(Op::CondBr { cond, on_true, on_false }, None).0
+    }
+
+    /// Emit a return.
+    pub fn ret(&mut self, value: Option<ValueId>) -> InstId {
+        self.emit(Op::Ret { value }, None).0
+    }
+
+    /// Emit an (initially empty) phi node of type `ty`.
+    pub fn phi(&mut self, ty: Ty, name: &str) -> ValueId {
+        self.emit_valued(Op::Phi { ty, incomings: Vec::new() }, Some(name))
+    }
+
+    /// Add an incoming `(block, value)` pair to phi `phi_value`.
+    ///
+    /// # Panics
+    /// Panics if `phi_value` is not the result of a phi instruction.
+    pub fn add_phi_incoming(&mut self, phi_value: ValueId, from: BlockId, value: ValueId) {
+        let inst = self
+            .func
+            .def_of(phi_value)
+            .expect("add_phi_incoming target must be an instruction result");
+        match &mut self.func.insts[inst.index()].op {
+            Op::Phi { incomings, .. } => incomings.push((from, value)),
+            other => panic!("add_phi_incoming on non-phi {other:?}"),
+        }
+    }
+
+    // ---- CGPA primitives (Table 1) ----------------------------------------
+
+    /// Emit `produce(queue, worker_sel, value)`.
+    pub fn produce(&mut self, queue: QueueId, worker_sel: ValueId, value: ValueId) -> InstId {
+        self.emit(Op::Produce { queue, worker_sel, value }, None).0
+    }
+
+    /// Emit `produce_broadcast(queue, value)`.
+    pub fn produce_broadcast(&mut self, queue: QueueId, value: ValueId) -> InstId {
+        self.emit(Op::ProduceBroadcast { queue, value }, None).0
+    }
+
+    /// Emit `consume(queue, channel_sel) -> ty`.
+    pub fn consume(&mut self, queue: QueueId, channel_sel: ValueId, ty: Ty) -> ValueId {
+        self.emit_valued(Op::Consume { queue, channel_sel, ty }, None)
+    }
+
+    /// Emit `parallel_fork(loop_id, live_ins)`.
+    pub fn parallel_fork(&mut self, loop_id: u32, live_ins: Vec<ValueId>) -> InstId {
+        self.emit(Op::ParallelFork { loop_id, live_ins }, None).0
+    }
+
+    /// Emit `parallel_join(loop_id)`.
+    pub fn parallel_join(&mut self, loop_id: u32) -> InstId {
+        self.emit(Op::ParallelJoin { loop_id }, None).0
+    }
+
+    /// Emit `store_liveout(slot, value)`.
+    pub fn store_liveout(&mut self, slot: u32, value: ValueId) -> InstId {
+        self.emit(Op::StoreLiveout { slot, value }, None).0
+    }
+
+    /// Emit `retrieve_liveout(slot) -> ty`.
+    pub fn retrieve_liveout(&mut self, slot: u32, ty: Ty) -> ValueId {
+        self.emit_valued(Op::RetrieveLiveout { slot, ty }, None)
+    }
+
+    /// Append an arbitrary pre-built operation at the insertion point,
+    /// returning the instruction id and its result value (if any).
+    ///
+    /// This is the escape hatch used by the pipeline transform when cloning
+    /// instructions whose operands were already rewritten.
+    pub fn push_raw(&mut self, op: Op, name: Option<String>) -> (InstId, Option<ValueId>) {
+        self.func.push_inst(self.cursor, op, name)
+    }
+
+    // ---- finishing ---------------------------------------------------------
+
+    /// Verify and return the finished function.
+    ///
+    /// # Errors
+    /// Returns the first [`VerifyError`] found (missing terminators, phi
+    /// mismatches, type errors, use-before-def, …).
+    pub fn finish(self) -> Result<Function, VerifyError> {
+        verify::verify(&self.func)?;
+        Ok(self.func)
+    }
+
+    /// Return the function without verification (used in tests that
+    /// intentionally construct broken IR).
+    #[must_use]
+    pub fn finish_unverified(self) -> Function {
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_straightline_code() {
+        let mut b = FunctionBuilder::new("axpy1", &[("a", Ty::F32), ("x", Ty::Ptr)], Some(Ty::F32));
+        let a = b.param(0);
+        let x = b.param(1);
+        let entry = b.entry_block();
+        b.switch_to(entry);
+        let v = b.load(x, Ty::F32);
+        let r = b.binary(BinOp::FMul, a, v);
+        b.ret(Some(r));
+        let f = b.finish().expect("verifies");
+        assert_eq!(f.insts.len(), 3);
+        assert_eq!(f.value_ty(r), Ty::F32);
+    }
+
+    #[test]
+    fn const_cache_shares_ids() {
+        let mut b = FunctionBuilder::new("k", &[], None);
+        let a = b.const_i32(5);
+        let c = b.const_i32(5);
+        assert_eq!(a, c);
+        b.ret(None);
+        b.finish().unwrap();
+    }
+
+    #[test]
+    fn queue_primitives_build() {
+        let mut b = FunctionBuilder::new("task", &[("wid", Ty::I32)], Some(Ty::I32));
+        let wid = b.param(0);
+        let q = QueueId(0);
+        let v = b.consume(q, wid, Ty::Ptr);
+        b.produce(q, wid, v);
+        let z = b.const_i32(0);
+        b.store_liveout(0, z);
+        b.ret(Some(z));
+        let f = b.finish().expect("verifies");
+        assert_eq!(f.op_histogram().get("consume"), Some(&1));
+        assert_eq!(f.op_histogram().get("produce"), Some(&1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-phi")]
+    fn add_incoming_to_non_phi_panics() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let c = b.const_i32(1);
+        let c2 = b.const_i32(2);
+        let s = b.binary(BinOp::Add, c, c2);
+        b.add_phi_incoming(s, BlockId(0), c);
+    }
+
+    #[test]
+    fn freq_hint_roundtrip() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let inner = b.append_block("inner");
+        b.set_freq_hint(inner, 10.0);
+        b.br(inner);
+        b.switch_to(inner);
+        b.ret(None);
+        let f = b.finish().unwrap();
+        assert!((f.block(inner).freq_hint - 10.0).abs() < f64::EPSILON);
+    }
+}

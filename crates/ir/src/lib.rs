@@ -1,0 +1,80 @@
+//! # cgpa-ir — the compiler IR substrate for the CGPA reproduction
+//!
+//! CGPA (DAC 2014) is built on LLVM IR. This crate provides the minimal
+//! SSA-form intermediate representation the rest of the workspace analyzes,
+//! transforms, schedules, and simulates. It models the slice of LLVM that the
+//! paper's five kernels exercise after standard `-O` cleanups: typed values,
+//! basic blocks with explicit terminators, phi nodes, loads/stores/GEPs, and
+//! the CGPA pipeline primitives of the paper's Table 1
+//! (`produce`/`consume`/`produce_broadcast`, `parallel_fork`/`parallel_join`,
+//! `store_liveout`/`retrieve_liveout`).
+//!
+//! ## Quick example
+//!
+//! Build `fn sum(n: i32) -> i32 { let mut s = 0; for i in 0..n { s += i } s }`:
+//!
+//! ```
+//! use cgpa_ir::{builder::FunctionBuilder, types::Ty, inst::{BinOp, IntPredicate}};
+//!
+//! let mut b = FunctionBuilder::new("sum", &[("n", Ty::I32)], Some(Ty::I32));
+//! let n = b.param(0);
+//! let entry = b.entry_block();
+//! let header = b.append_block("header");
+//! let body = b.append_block("body");
+//! let exit = b.append_block("exit");
+//!
+//! b.switch_to(entry);
+//! let zero = b.const_i32(0);
+//! b.br(header);
+//!
+//! b.switch_to(header);
+//! let i = b.phi(Ty::I32, "i");
+//! let s = b.phi(Ty::I32, "s");
+//! let cont = b.icmp(IntPredicate::Slt, i, n);
+//! b.cond_br(cont, body, exit);
+//!
+//! b.switch_to(body);
+//! let s2 = b.binary(BinOp::Add, s, i);
+//! let one = b.const_i32(1);
+//! let i2 = b.binary(BinOp::Add, i, one);
+//! b.br(header);
+//!
+//! b.switch_to(exit);
+//! b.ret(Some(s));
+//!
+//! b.add_phi_incoming(i, entry, zero);
+//! b.add_phi_incoming(i, body, i2);
+//! b.add_phi_incoming(s, entry, zero);
+//! b.add_phi_incoming(s, body, s2);
+//!
+//! let func = b.finish().expect("valid function");
+//! assert_eq!(func.blocks.len(), 4);
+//! ```
+//!
+//! The sibling crates build on this one:
+//! - `cgpa-analysis` computes dominance-based control dependence, alias
+//!   information, and the Program Dependence Graph;
+//! - `cgpa-pipeline` performs the CGPA partition/transform, emitting new task
+//!   [`Function`]s that use the Table 1 primitives;
+//! - `cgpa-rtl` schedules functions into finite state machines;
+//! - `cgpa-sim` executes functions functionally and cycle-accurately.
+//!
+//! [`Function`]: function::Function
+
+pub mod builder;
+pub mod cfg;
+pub mod dom;
+pub mod function;
+pub mod inst;
+pub mod loops;
+pub mod opt;
+pub mod printer;
+pub mod types;
+pub mod value;
+pub mod verify;
+
+pub use builder::FunctionBuilder;
+pub use function::{Block, BlockId, Function, Module, QueueId, QueueInfo};
+pub use inst::{BinOp, CastKind, FloatPredicate, Inst, InstId, IntPredicate, Op};
+pub use types::Ty;
+pub use value::{Const, ValueDef, ValueId};

@@ -1,0 +1,230 @@
+//! Natural-loop detection.
+//!
+//! CGPA targets one loop at a time; the partitioner needs to know the target
+//! loop's header, latches, body blocks, exiting branches, and nesting, so it
+//! can distinguish dependences carried by the *target* loop from cycles that
+//! are entirely intra-iteration (e.g. an inner loop's induction variable —
+//! those become parallel SCCs, exactly as in the paper's em3d example).
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::function::{BlockId, Function};
+use crate::inst::InstId;
+use std::collections::BTreeSet;
+
+/// One natural loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loop {
+    /// The loop header (single entry point).
+    pub header: BlockId,
+    /// Blocks with a back edge to the header.
+    pub latches: Vec<BlockId>,
+    /// All blocks of the loop, including the header (sorted).
+    pub blocks: BTreeSet<BlockId>,
+    /// Blocks inside the loop with a successor outside it.
+    pub exiting: Vec<BlockId>,
+    /// Loop depth: 1 for outermost loops, 2 for loops nested once, …
+    pub depth: u32,
+}
+
+impl Loop {
+    /// True if `b` belongs to the loop.
+    #[must_use]
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.contains(&b)
+    }
+
+    /// All instructions of the loop body, in block order.
+    #[must_use]
+    pub fn insts(&self, func: &Function) -> Vec<InstId> {
+        self.blocks.iter().flat_map(|b| func.block(*b).insts.iter().copied()).collect()
+    }
+
+    /// The terminators of the exiting blocks — the loop-exit branches whose
+    /// conditions the CGPA transform broadcasts to later stages.
+    #[must_use]
+    pub fn exit_branches(&self, func: &Function) -> Vec<InstId> {
+        self.exiting.iter().filter_map(|b| func.terminator(*b)).collect()
+    }
+}
+
+/// All natural loops of a function.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    loops: Vec<Loop>,
+}
+
+impl LoopInfo {
+    /// Detect the natural loops of `func`.
+    ///
+    /// Back edges are CFG edges `latch → header` where `header` dominates
+    /// `latch`; each header's loop is the union of the bodies reached
+    /// backwards from its latches. Irreducible control flow (never produced
+    /// by the builder-authored kernels) is ignored: edges into a
+    /// non-dominating header simply don't form a loop.
+    #[must_use]
+    pub fn compute(func: &Function, cfg: &Cfg, dom: &DomTree) -> Self {
+        let reachable = cfg.reachable();
+        let mut loops: Vec<Loop> = Vec::new();
+        for b in func.block_ids() {
+            if !reachable[b.index()] {
+                continue; // detached blocks (e.g. CFG-simplifier leftovers)
+            }
+            for &s in cfg.succs(b) {
+                if dom.dominates(s.index(), b.index()) {
+                    // Back edge b -> s.
+                    if let Some(l) = loops.iter_mut().find(|l| l.header == s) {
+                        l.latches.push(b);
+                    } else {
+                        loops.push(Loop {
+                            header: s,
+                            latches: vec![b],
+                            blocks: BTreeSet::new(),
+                            exiting: Vec::new(),
+                            depth: 0,
+                        });
+                    }
+                }
+            }
+        }
+        for l in &mut loops {
+            // Standard natural-loop body: header plus everything that can
+            // reach a latch without passing through the header.
+            let mut blocks = BTreeSet::new();
+            blocks.insert(l.header);
+            let mut work: Vec<BlockId> = l.latches.clone();
+            while let Some(b) = work.pop() {
+                if blocks.insert(b) {
+                    for &p in cfg.preds(b) {
+                        work.push(p);
+                    }
+                }
+            }
+            l.blocks = blocks;
+            l.exiting = l
+                .blocks
+                .iter()
+                .copied()
+                .filter(|&b| cfg.succs(b).iter().any(|s| !l.blocks.contains(s)))
+                .collect();
+        }
+        // Depths: a loop's depth is 1 + number of distinct other loops whose
+        // body strictly contains its header and is a superset.
+        let snapshot = loops.clone();
+        for l in &mut loops {
+            l.depth = 1 + snapshot
+                .iter()
+                .filter(|o| o.header != l.header && o.blocks.is_superset(&l.blocks))
+                .count() as u32;
+        }
+        loops.sort_by_key(|l| (l.depth, l.header));
+        LoopInfo { loops }
+    }
+
+    /// All loops, outermost first.
+    #[must_use]
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// The loop with the given header block.
+    #[must_use]
+    pub fn loop_with_header(&self, header: BlockId) -> Option<&Loop> {
+        self.loops.iter().find(|l| l.header == header)
+    }
+
+    /// The unique outermost (depth 1) loop, if there is exactly one — the
+    /// usual shape of a CGPA target kernel.
+    #[must_use]
+    pub fn single_outermost(&self) -> Option<&Loop> {
+        let mut outer = self.loops.iter().filter(|l| l.depth == 1);
+        match (outer.next(), outer.next()) {
+            (Some(l), None) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, IntPredicate};
+    use crate::types::Ty;
+
+    /// Doubly-nested counted loop.
+    fn nested() -> (Function, BlockId, BlockId) {
+        let mut b = FunctionBuilder::new("nest", &[("n", Ty::I32), ("m", Ty::I32)], None);
+        let n = b.param(0);
+        let m = b.param(1);
+        let oh = b.append_block("outer_header");
+        let ih = b.append_block("inner_header");
+        let ib = b.append_block("inner_body");
+        let ol = b.append_block("outer_latch");
+        let ex = b.append_block("exit");
+        let zero = b.const_i32(0);
+        let one = b.const_i32(1);
+        b.br(oh);
+        b.switch_to(oh);
+        let i = b.phi(Ty::I32, "i");
+        let ci = b.icmp(IntPredicate::Slt, i, n);
+        b.cond_br(ci, ih, ex);
+        b.switch_to(ih);
+        let j = b.phi(Ty::I32, "j");
+        let cj = b.icmp(IntPredicate::Slt, j, m);
+        b.cond_br(cj, ib, ol);
+        b.switch_to(ib);
+        let j2 = b.binary(BinOp::Add, j, one);
+        b.br(ih);
+        b.switch_to(ol);
+        let i2 = b.binary(BinOp::Add, i, one);
+        b.br(oh);
+        b.switch_to(ex);
+        b.ret(None);
+        b.add_phi_incoming(i, b.entry_block(), zero);
+        b.add_phi_incoming(i, ol, i2);
+        b.add_phi_incoming(j, oh, zero);
+        b.add_phi_incoming(j, ib, j2);
+        (b.finish().unwrap(), oh, ih)
+    }
+
+    #[test]
+    fn finds_both_loops_with_depths() {
+        let (f, oh, ih) = nested();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::dominators(&f, &cfg);
+        let li = LoopInfo::compute(&f, &cfg, &dom);
+        assert_eq!(li.loops().len(), 2);
+        let outer = li.loop_with_header(oh).unwrap();
+        let inner = li.loop_with_header(ih).unwrap();
+        assert_eq!(outer.depth, 1);
+        assert_eq!(inner.depth, 2);
+        assert!(outer.blocks.is_superset(&inner.blocks));
+        assert_eq!(li.single_outermost().unwrap().header, oh);
+    }
+
+    #[test]
+    fn exiting_blocks_and_branches() {
+        let (f, oh, ih) = nested();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::dominators(&f, &cfg);
+        let li = LoopInfo::compute(&f, &cfg, &dom);
+        let outer = li.loop_with_header(oh).unwrap();
+        assert_eq!(outer.exiting, vec![oh]);
+        assert_eq!(outer.exit_branches(&f).len(), 1);
+        let inner = li.loop_with_header(ih).unwrap();
+        assert_eq!(inner.exiting, vec![ih]);
+    }
+
+    #[test]
+    fn straightline_has_no_loops() {
+        let mut b = FunctionBuilder::new("s", &[], None);
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::dominators(&f, &cfg);
+        let li = LoopInfo::compute(&f, &cfg, &dom);
+        assert!(li.loops().is_empty());
+        assert!(li.single_outermost().is_none());
+    }
+}

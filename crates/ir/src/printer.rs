@@ -1,0 +1,162 @@
+//! Textual printing of functions and modules (LLVM-flavoured).
+
+use crate::function::{Function, Module};
+use crate::inst::{Inst, Op};
+use crate::value::{ValueDef, ValueId};
+use std::fmt::Write as _;
+
+/// Render `func` as human-readable text.
+///
+/// The format is stable enough for golden tests but is not meant to be
+/// parsed back.
+#[must_use]
+pub fn print_function(func: &Function) -> String {
+    let mut out = String::new();
+    let params = func
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, (n, t))| format!("{t} %{i} /*{n}*/"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let ret = func.ret_ty.map_or("void".to_string(), |t| t.to_string());
+    let _ = writeln!(out, "fn @{}({}) -> {} {{", func.name, params, ret);
+    for b in func.block_ids() {
+        let _ = writeln!(out, "{}: ; {}", b, func.block(b).name);
+        for &i in &func.block(b).insts {
+            let _ = writeln!(out, "  {}", render_inst(func, func.inst(i)));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a whole module: queue table then every function.
+#[must_use]
+pub fn print_module(module: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; module {}", module.name);
+    for (i, q) in module.queues.iter().enumerate() {
+        let _ = writeln!(out, "queue q{} : {} x{} ; {}", i, q.elem_ty, q.channels, q.name);
+    }
+    for f in &module.funcs {
+        out.push('\n');
+        out.push_str(&print_function(f));
+    }
+    out
+}
+
+fn operand(func: &Function, v: ValueId) -> String {
+    match func.value(v) {
+        ValueDef::Const(c) => format!("({c})"),
+        ValueDef::Param { index, .. } => format!("%{index}"),
+        ValueDef::Inst { .. } => v.to_string(),
+    }
+}
+
+fn render_inst(func: &Function, inst: &Inst) -> String {
+    let res = inst
+        .result
+        .map(|r| {
+            let suffix = inst.name.as_deref().map(|n| format!(" /*{n}*/")).unwrap_or_default();
+            format!("{r}{suffix} = ")
+        })
+        .unwrap_or_default();
+    let o = |v: ValueId| operand(func, v);
+    let body = match &inst.op {
+        Op::Binary { op, lhs, rhs } => format!("{} {}, {}", op.mnemonic(), o(*lhs), o(*rhs)),
+        Op::ICmp { pred, lhs, rhs } => format!("icmp {} {}, {}", pred.mnemonic(), o(*lhs), o(*rhs)),
+        Op::FCmp { pred, lhs, rhs } => format!("fcmp {} {}, {}", pred.mnemonic(), o(*lhs), o(*rhs)),
+        Op::Select { cond, on_true, on_false } => {
+            format!("select {}, {}, {}", o(*cond), o(*on_true), o(*on_false))
+        }
+        Op::Cast { kind, value, to } => format!("cast {kind:?} {} to {to}", o(*value)),
+        Op::Load { addr, ty } => format!("load {ty}, {}", o(*addr)),
+        Op::Store { addr, value } => format!("store {}, {}", o(*value), o(*addr)),
+        Op::Gep { base, index, scale, offset } => match index {
+            Some(ix) => format!("gep {} + {}*{} + {}", o(*base), o(*ix), scale, offset),
+            None => format!("gep {} + {}", o(*base), offset),
+        },
+        Op::Br { target } => format!("br {target}"),
+        Op::CondBr { cond, on_true, on_false } => {
+            format!("condbr {}, {on_true}, {on_false}", o(*cond))
+        }
+        Op::Ret { value } => match value {
+            Some(v) => format!("ret {}", o(*v)),
+            None => "ret".to_string(),
+        },
+        Op::Phi { ty, incomings } => {
+            let inc = incomings
+                .iter()
+                .map(|(b, v)| format!("[{b}: {}]", o(*v)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("phi {ty} {inc}")
+        }
+        Op::Produce { queue, worker_sel, value } => {
+            format!("produce {queue}[{}], {}", o(*worker_sel), o(*value))
+        }
+        Op::ProduceBroadcast { queue, value } => format!("produce_broadcast {queue}, {}", o(*value)),
+        Op::Consume { queue, channel_sel, ty } => {
+            format!("consume {queue}[{}] : {ty}", o(*channel_sel))
+        }
+        Op::ParallelFork { loop_id, live_ins } => {
+            let args = live_ins.iter().map(|v| o(*v)).collect::<Vec<_>>().join(", ");
+            format!("parallel_fork loop{loop_id} ({args})")
+        }
+        Op::ParallelJoin { loop_id } => format!("parallel_join loop{loop_id}"),
+        Op::StoreLiveout { slot, value } => format!("store_liveout #{slot}, {}", o(*value)),
+        Op::RetrieveLiveout { slot, ty } => format!("retrieve_liveout #{slot} : {ty}"),
+    };
+    format!("{res}{body}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::BinOp;
+    use crate::types::Ty;
+
+    #[test]
+    fn prints_function_with_primitives() {
+        let mut m = Module::new("test");
+        let q = m.add_queue("vals", Ty::I32, 4);
+        let mut b = FunctionBuilder::new("task", &[("wid", Ty::I32)], None);
+        let wid = b.param(0);
+        let v = b.consume(q, wid, Ty::I32);
+        let s = b.binary(BinOp::Add, v, wid);
+        b.produce(q, wid, s);
+        b.store_liveout(0, s);
+        b.ret(None);
+        m.add_func(b.finish().unwrap());
+        let text = print_module(&m);
+        assert!(text.contains("queue q0 : i32 x4"));
+        assert!(text.contains("consume q0["));
+        assert!(text.contains("produce q0["));
+        assert!(text.contains("store_liveout #0"));
+    }
+
+    #[test]
+    fn prints_phis_and_branches() {
+        let mut b = FunctionBuilder::new("f", &[("c", Ty::I1)], None);
+        let c = b.param(0);
+        let t = b.append_block("t");
+        let j = b.append_block("j");
+        b.cond_br(c, t, j);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(j);
+        let one = b.const_i32(1);
+        let two = b.const_i32(2);
+        let p = b.phi(Ty::I32, "p");
+        b.add_phi_incoming(p, b.entry_block(), one);
+        b.add_phi_incoming(p, t, two);
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let text = print_function(&f);
+        assert!(text.contains("condbr"));
+        assert!(text.contains("phi i32"));
+        assert!(text.contains("/*p*/"));
+    }
+}

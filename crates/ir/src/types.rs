@@ -1,0 +1,114 @@
+//! Value types of the IR.
+
+use std::fmt;
+
+/// The scalar types the IR supports.
+///
+/// The set mirrors what the paper's five kernels need after lowering:
+/// booleans from comparisons, 32/64-bit integers, single/double floats, and
+/// 32-bit pointers (the evaluation platform — a MIPS soft core on an Altera
+/// DE4 — is a 32-bit system, and the paper fixes FIFO width to 32 bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Ty {
+    /// 1-bit boolean (comparison results, branch conditions).
+    I1,
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+    /// 32-bit IEEE-754 float (`float` in the kernels' C sources).
+    F32,
+    /// 64-bit IEEE-754 float (`double` in em3d).
+    F64,
+    /// 32-bit pointer into the simulated address space.
+    Ptr,
+}
+
+impl Ty {
+    /// Size of the type in bytes when stored in simulated memory.
+    ///
+    /// `I1` occupies one byte, as a C `bool` would.
+    #[must_use]
+    pub fn size_bytes(self) -> u32 {
+        match self {
+            Ty::I1 => 1,
+            Ty::I32 | Ty::F32 | Ty::Ptr => 4,
+            Ty::I64 | Ty::F64 => 8,
+        }
+    }
+
+    /// Number of 32-bit FIFO beats a value of this type occupies when
+    /// communicated between pipeline stages.
+    ///
+    /// The paper fixes inter-stage FIFO width to 32 bits, so 64-bit values
+    /// are transferred as two beats.
+    #[must_use]
+    pub fn fifo_beats(self) -> u32 {
+        match self {
+            Ty::I1 | Ty::I32 | Ty::F32 | Ty::Ptr => 1,
+            Ty::I64 | Ty::F64 => 2,
+        }
+    }
+
+    /// True for `F32`/`F64`.
+    #[must_use]
+    pub fn is_float(self) -> bool {
+        matches!(self, Ty::F32 | Ty::F64)
+    }
+
+    /// True for the integer types (`I1`, `I32`, `I64`) and pointers.
+    #[must_use]
+    pub fn is_int_like(self) -> bool {
+        !self.is_float()
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Ty::I1 => "i1",
+            Ty::I32 => "i32",
+            Ty::I64 => "i64",
+            Ty::F32 => "f32",
+            Ty::F64 => "f64",
+            Ty::Ptr => "ptr",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_a_32_bit_platform() {
+        assert_eq!(Ty::Ptr.size_bytes(), 4);
+        assert_eq!(Ty::I32.size_bytes(), 4);
+        assert_eq!(Ty::F64.size_bytes(), 8);
+        assert_eq!(Ty::I1.size_bytes(), 1);
+    }
+
+    #[test]
+    fn fifo_beats_follow_32_bit_width() {
+        assert_eq!(Ty::I32.fifo_beats(), 1);
+        assert_eq!(Ty::Ptr.fifo_beats(), 1);
+        assert_eq!(Ty::F32.fifo_beats(), 1);
+        assert_eq!(Ty::F64.fifo_beats(), 2);
+        assert_eq!(Ty::I64.fifo_beats(), 2);
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(Ty::F64.to_string(), "f64");
+        assert_eq!(Ty::I1.to_string(), "i1");
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Ty::F32.is_float());
+        assert!(!Ty::F32.is_int_like());
+        assert!(Ty::Ptr.is_int_like());
+        assert!(Ty::I1.is_int_like());
+    }
+}

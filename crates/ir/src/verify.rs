@@ -1,0 +1,409 @@
+//! IR verifier: structural and type invariants.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::function::{BlockId, Function};
+use crate::inst::{BinOp, CastKind, InstId, Op};
+use crate::types::Ty;
+use crate::value::ValueId;
+use std::error::Error;
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A block has no instructions or does not end in a terminator.
+    MissingTerminator { func: String, block: BlockId },
+    /// A terminator appears before the end of a block.
+    EarlyTerminator { func: String, block: BlockId, inst: InstId },
+    /// A phi's incoming blocks don't exactly match the block's predecessors.
+    PhiPredecessorMismatch { func: String, block: BlockId, inst: InstId },
+    /// A phi appears after a non-phi instruction in its block.
+    PhiNotAtBlockStart { func: String, block: BlockId, inst: InstId },
+    /// Operand type doesn't satisfy the opcode's requirements.
+    TypeMismatch { func: String, inst: InstId, detail: String },
+    /// A non-phi use is not dominated by its definition.
+    UseNotDominated { func: String, inst: InstId, value: ValueId },
+    /// A branch targets an out-of-range block.
+    BadBlockRef { func: String, inst: InstId },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::MissingTerminator { func, block } => {
+                write!(f, "function `{func}`: block {block} does not end in a terminator")
+            }
+            VerifyError::EarlyTerminator { func, block, inst } => {
+                write!(f, "function `{func}`: terminator {inst} before end of block {block}")
+            }
+            VerifyError::PhiPredecessorMismatch { func, block, inst } => {
+                write!(f, "function `{func}`: phi {inst} in block {block} does not match predecessors")
+            }
+            VerifyError::PhiNotAtBlockStart { func, block, inst } => {
+                write!(f, "function `{func}`: phi {inst} is not at the start of block {block}")
+            }
+            VerifyError::TypeMismatch { func, inst, detail } => {
+                write!(f, "function `{func}`: type error at {inst}: {detail}")
+            }
+            VerifyError::UseNotDominated { func, inst, value } => {
+                write!(f, "function `{func}`: use of {value} at {inst} is not dominated by its definition")
+            }
+            VerifyError::BadBlockRef { func, inst } => {
+                write!(f, "function `{func}`: branch {inst} targets an unknown block")
+            }
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Verify structural and type invariants of `func`.
+///
+/// # Errors
+/// Returns the first violation found. Checks: every reachable block ends in
+/// exactly one terminator at its end; phis sit at block starts and cover
+/// exactly the block's predecessors; opcode operand types line up; every
+/// non-phi use is dominated by its definition; branch targets exist.
+pub fn verify(func: &Function) -> Result<(), VerifyError> {
+    let n_blocks = func.blocks.len() as u32;
+
+    // Block-local structure.
+    for b in func.block_ids() {
+        let block = func.block(b);
+        let Some(&last) = block.insts.last() else {
+            return Err(VerifyError::MissingTerminator { func: func.name.clone(), block: b });
+        };
+        if !func.inst(last).op.is_terminator() {
+            return Err(VerifyError::MissingTerminator { func: func.name.clone(), block: b });
+        }
+        let mut seen_non_phi = false;
+        for &i in &block.insts {
+            let inst = func.inst(i);
+            if inst.op.is_terminator() && i != last {
+                return Err(VerifyError::EarlyTerminator { func: func.name.clone(), block: b, inst: i });
+            }
+            match inst.op {
+                Op::Phi { .. } => {
+                    if seen_non_phi {
+                        return Err(VerifyError::PhiNotAtBlockStart {
+                            func: func.name.clone(),
+                            block: b,
+                            inst: i,
+                        });
+                    }
+                }
+                _ => seen_non_phi = true,
+            }
+            // Branch target ranges.
+            let targets: Vec<BlockId> = match inst.op {
+                Op::Br { target } => vec![target],
+                Op::CondBr { on_true, on_false, .. } => vec![on_true, on_false],
+                _ => Vec::new(),
+            };
+            if targets.iter().any(|t| t.0 >= n_blocks) {
+                return Err(VerifyError::BadBlockRef { func: func.name.clone(), inst: i });
+            }
+        }
+    }
+
+    let cfg = Cfg::new(func);
+
+    // Phi incoming sets match predecessors (order-insensitive), for
+    // reachable blocks.
+    let reachable = cfg.reachable();
+    for b in func.block_ids() {
+        if !reachable[b.index()] {
+            continue;
+        }
+        let mut preds: Vec<BlockId> = cfg.preds(b).to_vec();
+        preds.sort();
+        preds.dedup();
+        for &i in &func.block(b).insts {
+            if let Op::Phi { incomings, .. } = &func.inst(i).op {
+                let mut inc: Vec<BlockId> = incomings.iter().map(|(bb, _)| *bb).collect();
+                inc.sort();
+                inc.dedup();
+                if inc != preds {
+                    return Err(VerifyError::PhiPredecessorMismatch {
+                        func: func.name.clone(),
+                        block: b,
+                        inst: i,
+                    });
+                }
+            }
+        }
+    }
+
+    type_check(func)?;
+
+    // Dominance of uses.
+    let dom = DomTree::dominators(func, &cfg);
+    let mut inst_pos = vec![usize::MAX; func.insts.len()];
+    for b in func.block_ids() {
+        for (pos, &i) in func.block(b).insts.iter().enumerate() {
+            inst_pos[i.index()] = pos;
+        }
+    }
+    for b in func.block_ids() {
+        if !reachable[b.index()] {
+            continue;
+        }
+        for &i in &func.block(b).insts {
+            let inst = func.inst(i);
+            if let Op::Phi { incomings, .. } = &inst.op {
+                // A phi use must be dominated by its def at the end of the
+                // incoming edge's source block.
+                for (from, v) in incomings {
+                    if let Some(def) = func.def_of(*v) {
+                        let def_block = func.inst(def).block;
+                        if !dom.dominates(def_block.index(), from.index()) {
+                            return Err(VerifyError::UseNotDominated {
+                                func: func.name.clone(),
+                                inst: i,
+                                value: *v,
+                            });
+                        }
+                    }
+                }
+                continue;
+            }
+            for v in inst.op.operands() {
+                let Some(def) = func.def_of(v) else { continue };
+                let def_block = func.inst(def).block;
+                let ok = if def_block == b {
+                    inst_pos[def.index()] < inst_pos[i.index()]
+                } else {
+                    dom.strictly_dominates(def_block.index(), b.index())
+                        || dom.dominates(def_block.index(), b.index())
+                };
+                if !ok {
+                    return Err(VerifyError::UseNotDominated {
+                        func: func.name.clone(),
+                        inst: i,
+                        value: v,
+                    });
+                }
+            }
+        }
+    }
+
+    Ok(())
+}
+
+fn type_check(func: &Function) -> Result<(), VerifyError> {
+    let err = |inst: InstId, detail: String| VerifyError::TypeMismatch {
+        func: func.name.clone(),
+        inst,
+        detail,
+    };
+    let ty = |v: ValueId| func.value_ty(v);
+    for (idx, inst) in func.insts.iter().enumerate() {
+        let i = InstId(idx as u32);
+        match &inst.op {
+            Op::Binary { op, lhs, rhs } => {
+                if ty(*lhs) != ty(*rhs) {
+                    return Err(err(i, format!("binary operands {} vs {}", ty(*lhs), ty(*rhs))));
+                }
+                let float = ty(*lhs).is_float();
+                if op.is_float() != float {
+                    return Err(err(i, format!("{} on {}", op.mnemonic(), ty(*lhs))));
+                }
+                if !op.is_float() && ty(*lhs) == Ty::I1 && !matches!(op, BinOp::And | BinOp::Or | BinOp::Xor) {
+                    return Err(err(i, "arithmetic on i1".to_string()));
+                }
+            }
+            Op::ICmp { lhs, rhs, .. } => {
+                if ty(*lhs) != ty(*rhs) || ty(*lhs).is_float() {
+                    return Err(err(i, format!("icmp on {} vs {}", ty(*lhs), ty(*rhs))));
+                }
+            }
+            Op::FCmp { lhs, rhs, .. } => {
+                if ty(*lhs) != ty(*rhs) || !ty(*lhs).is_float() {
+                    return Err(err(i, format!("fcmp on {} vs {}", ty(*lhs), ty(*rhs))));
+                }
+            }
+            Op::Select { cond, on_true, on_false } => {
+                if ty(*cond) != Ty::I1 {
+                    return Err(err(i, "select condition must be i1".to_string()));
+                }
+                if ty(*on_true) != ty(*on_false) {
+                    return Err(err(i, "select arm type mismatch".to_string()));
+                }
+            }
+            Op::Cast { kind, value, to } => {
+                let from = ty(*value);
+                let ok = match kind {
+                    CastKind::SExt | CastKind::ZExt => from.is_int_like() && to.is_int_like() && to.size_bytes() >= from.size_bytes(),
+                    CastKind::Trunc => from.is_int_like() && to.is_int_like() && to.size_bytes() <= from.size_bytes(),
+                    CastKind::SiToFp => from.is_int_like() && to.is_float(),
+                    CastKind::FpToSi => from.is_float() && to.is_int_like(),
+                    CastKind::FpCast => from.is_float() && to.is_float(),
+                    CastKind::PtrCast => {
+                        (from == Ty::Ptr && *to == Ty::I32) || (from == Ty::I32 && *to == Ty::Ptr)
+                    }
+                };
+                if !ok {
+                    return Err(err(i, format!("cast {kind:?} from {from} to {to}")));
+                }
+            }
+            Op::Load { addr, .. } | Op::Store { addr, .. } => {
+                if ty(*addr) != Ty::Ptr {
+                    return Err(err(i, "memory address must be ptr".to_string()));
+                }
+            }
+            Op::Gep { base, index, .. } => {
+                if ty(*base) != Ty::Ptr {
+                    return Err(err(i, "gep base must be ptr".to_string()));
+                }
+                if let Some(ix) = index {
+                    if !matches!(ty(*ix), Ty::I32 | Ty::I64) {
+                        return Err(err(i, "gep index must be an integer".to_string()));
+                    }
+                }
+            }
+            Op::CondBr { cond, .. } => {
+                if ty(*cond) != Ty::I1 {
+                    return Err(err(i, "branch condition must be i1".to_string()));
+                }
+            }
+            Op::Ret { value } => match (value, func.ret_ty) {
+                (Some(v), Some(rt)) => {
+                    if ty(*v) != rt {
+                        return Err(err(i, format!("return {} from fn returning {rt}", ty(*v))));
+                    }
+                }
+                (None, None) => {}
+                _ => return Err(err(i, "return arity mismatch".to_string())),
+            },
+            Op::Phi { ty: pty, incomings } => {
+                for (_, v) in incomings {
+                    if ty(*v) != *pty {
+                        return Err(err(i, format!("phi incoming {} vs {pty}", ty(*v))));
+                    }
+                }
+            }
+            Op::Produce { worker_sel, .. } => {
+                if !matches!(ty(*worker_sel), Ty::I32 | Ty::I64) {
+                    return Err(err(i, "produce worker selector must be an integer".to_string()));
+                }
+            }
+            Op::Consume { channel_sel, .. } => {
+                if !matches!(ty(*channel_sel), Ty::I32 | Ty::I64) {
+                    return Err(err(i, "consume channel selector must be an integer".to_string()));
+                }
+            }
+            Op::ProduceBroadcast { .. }
+            | Op::ParallelFork { .. }
+            | Op::ParallelJoin { .. }
+            | Op::StoreLiveout { .. }
+            | Op::RetrieveLiveout { .. }
+            | Op::Br { .. } => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::IntPredicate;
+
+    #[test]
+    fn missing_terminator_detected() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let c1 = b.const_i32(1);
+        let c2 = b.const_i32(2);
+        b.binary(BinOp::Add, c1, c2);
+        let f = b.finish_unverified();
+        assert!(matches!(verify(&f), Err(VerifyError::MissingTerminator { .. })));
+    }
+
+    #[test]
+    fn type_mismatch_detected() {
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::I32), ("y", Ty::F64)], None);
+        let x = b.param(0);
+        let y = b.param(1);
+        b.binary(BinOp::Add, x, y);
+        b.ret(None);
+        let f = b.finish_unverified();
+        assert!(matches!(verify(&f), Err(VerifyError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn float_opcode_on_ints_detected() {
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::I32)], None);
+        let x = b.param(0);
+        b.binary(BinOp::FAdd, x, x);
+        b.ret(None);
+        let f = b.finish_unverified();
+        assert!(matches!(verify(&f), Err(VerifyError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn phi_mismatch_detected() {
+        let mut b = FunctionBuilder::new("f", &[("c", Ty::I1)], None);
+        let c = b.param(0);
+        let t = b.append_block("t");
+        let j = b.append_block("j");
+        b.cond_br(c, t, j);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(j);
+        let p = b.phi(Ty::I32, "p");
+        // Only one incoming, but j has two predecessors.
+        let z = b.const_i32(0);
+        b.add_phi_incoming(p, t, z);
+        b.ret(None);
+        let f = b.finish_unverified();
+        assert!(matches!(verify(&f), Err(VerifyError::PhiPredecessorMismatch { .. })));
+    }
+
+    #[test]
+    fn use_before_def_detected() {
+        // Build: entry branches to (a, b); a defines v; b uses v.
+        let mut bld = FunctionBuilder::new("f", &[("c", Ty::I1)], None);
+        let c = bld.param(0);
+        let a = bld.append_block("a");
+        let bb = bld.append_block("b");
+        bld.cond_br(c, a, bb);
+        bld.switch_to(a);
+        let one = bld.const_i32(1);
+        let v = bld.binary(BinOp::Add, one, one);
+        bld.ret(None);
+        bld.switch_to(bb);
+        bld.binary(BinOp::Add, v, one);
+        bld.ret(None);
+        let f = bld.finish_unverified();
+        assert!(matches!(verify(&f), Err(VerifyError::UseNotDominated { .. })));
+    }
+
+    #[test]
+    fn valid_loop_passes() {
+        let mut b = FunctionBuilder::new("f", &[("n", Ty::I32)], Some(Ty::I32));
+        let n = b.param(0);
+        let entry = b.entry_block();
+        let h = b.append_block("h");
+        let e = b.append_block("e");
+        let zero = b.const_i32(0);
+        let one = b.const_i32(1);
+        b.br(h);
+        b.switch_to(h);
+        let i = b.phi(Ty::I32, "i");
+        let i2 = b.binary(BinOp::Add, i, one);
+        let cc = b.icmp(IntPredicate::Slt, i2, n);
+        b.cond_br(cc, h, e);
+        b.switch_to(e);
+        b.ret(Some(i2));
+        b.add_phi_incoming(i, entry, zero);
+        b.add_phi_incoming(i, h, i2);
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = VerifyError::MissingTerminator { func: "f".into(), block: BlockId(2) };
+        assert!(e.to_string().contains("bb2"));
+    }
+}

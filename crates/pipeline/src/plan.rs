@@ -1,0 +1,128 @@
+//! Pipeline plans: the output of the partition step.
+
+use cgpa_analysis::SccId;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The kind of a pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageKind {
+    /// One worker; executes every iteration.
+    Sequential,
+    /// N workers; iteration `i` is *assigned* to worker `i mod N`, and only
+    /// duplicated (replicable) instructions execute on unassigned
+    /// iterations.
+    Parallel,
+}
+
+impl fmt::Display for StageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            StageKind::Sequential => "S",
+            StageKind::Parallel => "P",
+        })
+    }
+}
+
+/// One pipeline stage: its kind and the SCCs assigned to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StagePlan {
+    /// Sequential or parallel.
+    pub kind: StageKind,
+    /// SCC ids assigned to this stage, in topological order.
+    pub sccs: Vec<SccId>,
+}
+
+/// The complete partition of a target loop into pipeline stages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelinePlan {
+    /// Stages in pipeline order.
+    pub stages: Vec<StagePlan>,
+    /// Replicable SCCs duplicated into *every* task (and both loop bodies of
+    /// parallel workers).
+    pub duplicated: BTreeSet<SccId>,
+    /// SCCs placed in the pre-sequential stage because duplicated sections
+    /// consume their results every iteration (broadcast producers, e.g. the
+    /// Gaussian-blur image fetch R3).
+    pub feeders: BTreeSet<SccId>,
+    /// Stage index of each non-duplicated SCC.
+    pub assignment: BTreeMap<SccId, usize>,
+}
+
+impl PipelinePlan {
+    /// The pipeline shape string reported in the paper's Table 2:
+    /// e.g. `"S-P-S"`, `"S-P"`, `"P-S"`, or `"P"`.
+    #[must_use]
+    pub fn shape(&self) -> String {
+        self.stages
+            .iter()
+            .map(|s| s.kind.to_string())
+            .collect::<Vec<_>>()
+            .join("-")
+    }
+
+    /// Index of the (single) parallel stage.
+    ///
+    /// # Panics
+    /// Panics if the plan has no parallel stage (plans are only constructed
+    /// with one).
+    #[must_use]
+    pub fn parallel_stage(&self) -> usize {
+        self.stages
+            .iter()
+            .position(|s| s.kind == StageKind::Parallel)
+            .expect("pipeline plan always has a parallel stage")
+    }
+
+    /// The stage an SCC executes in, or `None` for duplicated SCCs (they
+    /// execute in every task).
+    #[must_use]
+    pub fn stage_of(&self, scc: SccId) -> Option<usize> {
+        self.assignment.get(&scc).copied()
+    }
+
+    /// True if `scc` is duplicated into every task.
+    #[must_use]
+    pub fn is_duplicated(&self, scc: SccId) -> bool {
+        self.duplicated.contains(&scc)
+    }
+
+    /// Number of stages.
+    #[must_use]
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_plan() -> PipelinePlan {
+        PipelinePlan {
+            stages: vec![
+                StagePlan { kind: StageKind::Sequential, sccs: vec![SccId(0)] },
+                StagePlan { kind: StageKind::Parallel, sccs: vec![SccId(1)] },
+                StagePlan { kind: StageKind::Sequential, sccs: vec![SccId(2)] },
+            ],
+            duplicated: BTreeSet::from([SccId(3)]),
+            feeders: BTreeSet::new(),
+            assignment: BTreeMap::from([(SccId(0), 0), (SccId(1), 1), (SccId(2), 2)]),
+        }
+    }
+
+    #[test]
+    fn shape_string() {
+        assert_eq!(toy_plan().shape(), "S-P-S");
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let p = toy_plan();
+        assert_eq!(p.parallel_stage(), 1);
+        assert_eq!(p.stage_of(SccId(2)), Some(2));
+        assert_eq!(p.stage_of(SccId(3)), None);
+        assert!(p.is_duplicated(SccId(3)));
+        assert_eq!(p.num_stages(), 3);
+    }
+}

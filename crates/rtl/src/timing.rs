@@ -1,0 +1,123 @@
+//! Operation timing for a 200 MHz Stratix-IV-class target.
+//!
+//! Latencies follow typical LegUp/Altera megafunction characterizations at
+//! ~200 MHz: single-cycle integer ALU ops chain combinationally (up to a
+//! depth limit per state), multipliers and floating-point units are
+//! pipelined multi-cycle units, dividers are long iterative units. Memory
+//! and queue operations have a one-cycle issue and variable completion — the
+//! simulator supplies the stall cycles.
+
+use cgpa_ir::{BinOp, Op, Ty};
+
+/// Combinational chain depth allowed within one FSM state.
+pub const CHAIN_LIMIT: u32 = 3;
+
+/// Timing class of one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpTiming {
+    /// Cycles the operation occupies its state (1 for simple ops; memory
+    /// and queue ops add data-dependent stalls on top in the simulator).
+    pub latency: u32,
+    /// True if the op can share a state with its producers (combinational
+    /// chaining).
+    pub chainable: bool,
+    /// True for ops that use a memory or queue port and therefore must be
+    /// the only *port* op in their state (constraint 3 of §3.4 keeps queue
+    /// and memory ops apart; we additionally serialize same-kind port ops
+    /// because each worker owns a single cache port).
+    pub port_op: bool,
+}
+
+/// The timing of `op` given a result-type hint (float latencies differ by
+/// width).
+#[must_use]
+pub fn op_timing(op: &Op, ty: Option<Ty>) -> OpTiming {
+    let comb = OpTiming { latency: 1, chainable: true, port_op: false };
+    let multi = |l: u32| OpTiming { latency: l, chainable: false, port_op: false };
+    let port = OpTiming { latency: 1, chainable: false, port_op: true };
+    match op {
+        Op::Binary { op: b, .. } => match b {
+            BinOp::Add | BinOp::Sub | BinOp::And | BinOp::Or | BinOp::Xor => comb,
+            BinOp::Shl | BinOp::LShr | BinOp::AShr => comb,
+            BinOp::Mul => multi(2),
+            BinOp::SDiv | BinOp::SRem => multi(16),
+            BinOp::FAdd | BinOp::FSub => {
+                if ty == Some(Ty::F64) {
+                    multi(4)
+                } else {
+                    multi(3)
+                }
+            }
+            BinOp::FMul => {
+                if ty == Some(Ty::F64) {
+                    multi(5)
+                } else {
+                    multi(4)
+                }
+            }
+            BinOp::FDiv => {
+                if ty == Some(Ty::F64) {
+                    multi(24)
+                } else {
+                    multi(16)
+                }
+            }
+        },
+        Op::ICmp { .. } | Op::Select { .. } | Op::Gep { .. } | Op::Cast { .. } => comb,
+        Op::FCmp { .. } => multi(2),
+        Op::Load { .. } | Op::Store { .. } => port,
+        Op::Produce { .. } | Op::ProduceBroadcast { .. } | Op::Consume { .. } => port,
+        Op::ParallelFork { .. } | Op::ParallelJoin { .. } => {
+            OpTiming { latency: 1, chainable: false, port_op: false }
+        }
+        Op::StoreLiveout { .. } | Op::RetrieveLiveout { .. } => comb,
+        // Terminators evaluate as part of next-state logic; phis are
+        // register updates on state transitions.
+        Op::Br { .. } | Op::CondBr { .. } | Op::Ret { .. } | Op::Phi { .. } => {
+            OpTiming { latency: 0, chainable: true, port_op: false }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgpa_ir::ValueId;
+
+    fn v(n: u32) -> ValueId {
+        ValueId(n)
+    }
+
+    #[test]
+    fn integer_alu_chains() {
+        let t = op_timing(&Op::Binary { op: BinOp::Add, lhs: v(0), rhs: v(1) }, Some(Ty::I32));
+        assert!(t.chainable);
+        assert_eq!(t.latency, 1);
+        assert!(!t.port_op);
+    }
+
+    #[test]
+    fn float_units_are_multicycle() {
+        let t32 = op_timing(&Op::Binary { op: BinOp::FMul, lhs: v(0), rhs: v(1) }, Some(Ty::F32));
+        let t64 = op_timing(&Op::Binary { op: BinOp::FMul, lhs: v(0), rhs: v(1) }, Some(Ty::F64));
+        assert!(!t32.chainable);
+        assert!(t64.latency > t32.latency);
+    }
+
+    #[test]
+    fn memory_and_queue_ops_are_port_ops() {
+        assert!(op_timing(&Op::Load { addr: v(0), ty: Ty::I32 }, Some(Ty::I32)).port_op);
+        assert!(op_timing(&Op::Store { addr: v(0), value: v(1) }, None).port_op);
+        assert!(op_timing(
+            &Op::Consume { queue: cgpa_ir::QueueId(0), channel_sel: v(0), ty: Ty::I32 },
+            Some(Ty::I32)
+        )
+        .port_op);
+    }
+
+    #[test]
+    fn control_is_free() {
+        assert_eq!(op_timing(&Op::Br { target: cgpa_ir::BlockId(0) }, None).latency, 0);
+        assert_eq!(op_timing(&Op::Phi { ty: Ty::I32, incomings: vec![] }, Some(Ty::I32)).latency, 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests: every function the generator produces schedules into an
+//! FSM that satisfies the paper's constraints (eqs. 1–4) as re-checked by
+//! `verify_schedule`, and the schedule is deterministic.
+
+use cgpa_ir::builder::FunctionBuilder;
+use cgpa_ir::inst::IntPredicate;
+use cgpa_ir::{BinOp, Function, QueueId, Ty};
+use cgpa_rtl::schedule::{schedule_function, verify_schedule};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Int,
+    Float,
+    LoadStore,
+    Produce,
+    Consume,
+    Liveout,
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        Just(Step::Int),
+        Just(Step::Float),
+        Just(Step::LoadStore),
+        Just(Step::Produce),
+        Just(Step::Consume),
+        Just(Step::Liveout),
+    ]
+}
+
+fn build(steps: &[Step]) -> Function {
+    let mut b = FunctionBuilder::new(
+        "sched",
+        &[("p", Ty::Ptr), ("w", Ty::I32), ("n", Ty::I32)],
+        None,
+    );
+    let p = b.param(0);
+    let w = b.param(1);
+    let n = b.param(2);
+    let header = b.append_block("header");
+    let body = b.append_block("body");
+    let exit = b.append_block("exit");
+    let zero = b.const_i32(0);
+    let one = b.const_i32(1);
+    b.br(header);
+    b.switch_to(header);
+    let i = b.phi(Ty::I32, "i");
+    let c = b.icmp(IntPredicate::Slt, i, n);
+    b.cond_br(c, body, exit);
+    b.switch_to(body);
+    let mut iv = i;
+    let mut fv = None;
+    let mut slot = 0u32;
+    for (k, s) in steps.iter().enumerate() {
+        match s {
+            Step::Int => iv = b.binary(BinOp::Add, iv, one),
+            Step::Float => {
+                let f = match fv {
+                    Some(f) => f,
+                    None => b.const_f32(1.5),
+                };
+                fv = Some(b.binary(BinOp::FMul, f, f));
+            }
+            Step::LoadStore => {
+                let addr = b.gep(p, iv, 4, 0);
+                let x = b.load(addr, Ty::I32);
+                b.store(addr, x);
+            }
+            Step::Produce => {
+                b.produce(QueueId((k % 3) as u32), w, iv);
+            }
+            Step::Consume => {
+                iv = b.consume(QueueId((k % 3) as u32), w, Ty::I32);
+            }
+            Step::Liveout => {
+                // store_liveout must ride with the terminator: place it in
+                // the exit path instead of mid-body (handled below).
+                slot += 1;
+            }
+        }
+    }
+    let i2 = b.binary(BinOp::Add, i, one);
+    b.br(header);
+    b.switch_to(exit);
+    for s in 0..slot {
+        b.store_liveout(s, n);
+    }
+    b.ret(None);
+    b.add_phi_incoming(i, b.entry_block(), zero);
+    b.add_phi_incoming(i, body, i2);
+    b.finish().expect("generated function verifies")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn schedules_satisfy_all_constraints(steps in proptest::collection::vec(step(), 1..20)) {
+        let f = build(&steps);
+        let fsm = schedule_function(&f);
+        verify_schedule(&f, &fsm).expect("constraints hold");
+        // Every block has at least one state and the entry state is the
+        // entry block's.
+        prop_assert!(fsm.len() >= f.blocks.len());
+        prop_assert_eq!(fsm.states[fsm.entry().index()].block, f.entry());
+    }
+
+    #[test]
+    fn scheduling_is_deterministic(steps in proptest::collection::vec(step(), 1..20)) {
+        let f = build(&steps);
+        let a = schedule_function(&f);
+        let b = schedule_function(&f);
+        prop_assert_eq!(a.states, b.states);
+    }
+
+    #[test]
+    fn queue_heavy_bodies_pack_into_few_states(nq in 1usize..6) {
+        // N produces to N distinct queues must share states (multi-port
+        // FIFO pushes), never exceed one state per queue op plus control.
+        let steps: Vec<Step> = (0..nq).map(|_| Step::Produce).collect();
+        let f = build(&steps);
+        let fsm = schedule_function(&f);
+        verify_schedule(&f, &fsm).expect("constraints hold");
+        // All produces to distinct queues: at most ceil(nq/3) queue states
+        // (the generator cycles through 3 queue ids).
+        let queue_states = fsm
+            .states
+            .iter()
+            .filter(|s| s.ops.iter().any(|&i| f.inst(i).op.is_queue_op()))
+            .count();
+        prop_assert!(queue_states <= nq.div_ceil(3) + 1, "queue states: {queue_states}");
+    }
+}

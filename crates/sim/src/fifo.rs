@@ -1,0 +1,215 @@
+//! Inter-stage FIFO queue sets (paper §4.1: width 32 bits, depth 16).
+//!
+//! A queue *set* is one logical pipeline edge expanded into one hardware
+//! FIFO per consumer channel. Values wider than 32 bits occupy multiple
+//! beats (an `f64` takes two slots and two transfer cycles), matching the
+//! paper's fixed 32-bit FIFO width.
+
+use crate::value::Value;
+use cgpa_ir::{QueueInfo, Ty};
+use std::collections::VecDeque;
+
+/// Runtime state of one queue set.
+///
+/// ```
+/// use cgpa_sim::fifo::QueueState;
+/// use cgpa_sim::Value;
+/// use cgpa_ir::{QueueInfo, Ty};
+///
+/// let info = QueueInfo { name: "vals".into(), elem_ty: Ty::F64, channels: 2 };
+/// let mut q = QueueState::new(&info, 16);
+/// q.push(0, Value::F64(2.5));            // an f64 occupies two beats
+/// assert_eq!(q.occupancy(0), 2);
+/// assert_eq!(q.pop(0), Value::F64(2.5));
+/// assert!(q.is_drained());
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueueState {
+    /// Element type.
+    pub elem_ty: Ty,
+    /// Depth per channel, in 32-bit beats.
+    pub depth_beats: usize,
+    channels: Vec<VecDeque<u32>>,
+    /// Total beats pushed (for power accounting).
+    pub beats_pushed: u64,
+    /// Total beats popped.
+    pub beats_popped: u64,
+    /// Peak occupancy in beats over all channels.
+    pub peak_beats: usize,
+}
+
+impl QueueState {
+    /// Create from a module-level declaration with the given depth (in
+    /// *elements of 32 bits*, i.e. beats).
+    #[must_use]
+    pub fn new(info: &QueueInfo, depth_beats: usize) -> Self {
+        QueueState {
+            elem_ty: info.elem_ty,
+            depth_beats,
+            channels: vec![VecDeque::new(); info.channels as usize],
+            beats_pushed: 0,
+            beats_popped: 0,
+            peak_beats: 0,
+        }
+    }
+
+    /// Number of channels.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Beats one element occupies.
+    #[must_use]
+    pub fn elem_beats(&self) -> usize {
+        self.elem_ty.fifo_beats() as usize
+    }
+
+    /// Can channel `c` accept one element?
+    #[must_use]
+    pub fn can_push(&self, c: usize) -> bool {
+        self.channels[c].len() + self.elem_beats() <= self.depth_beats
+    }
+
+    /// Can every channel accept one element (broadcast)?
+    #[must_use]
+    pub fn can_push_all(&self) -> bool {
+        (0..self.channels()).all(|c| self.can_push(c))
+    }
+
+    /// Does channel `c` hold a complete element?
+    #[must_use]
+    pub fn can_pop(&self, c: usize) -> bool {
+        self.channels[c].len() >= self.elem_beats()
+    }
+
+    /// Push one element to channel `c`.
+    ///
+    /// # Panics
+    /// Panics when the channel is full (callers must check
+    /// [`can_push`](QueueState::can_push) first; the hardware stalls).
+    pub fn push(&mut self, c: usize, v: Value) {
+        assert!(self.can_push(c), "push to full channel {c}");
+        let bits = v.to_bits();
+        for beat in 0..self.elem_beats() {
+            self.channels[c].push_back((bits >> (32 * beat)) as u32);
+        }
+        self.beats_pushed += self.elem_beats() as u64;
+        let occ = self.channels[c].len();
+        self.peak_beats = self.peak_beats.max(occ);
+    }
+
+    /// Broadcast one element to all channels.
+    ///
+    /// # Panics
+    /// Panics when any channel is full.
+    pub fn push_all(&mut self, v: Value) {
+        assert!(self.can_push_all(), "broadcast into a full channel");
+        for c in 0..self.channels() {
+            self.push(c, v);
+        }
+        // `push` already counted beats per channel.
+    }
+
+    /// Pop one element from channel `c`.
+    ///
+    /// # Panics
+    /// Panics when the channel lacks a complete element.
+    pub fn pop(&mut self, c: usize) -> Value {
+        assert!(self.can_pop(c), "pop from empty channel {c}");
+        let mut bits = 0u64;
+        for beat in 0..self.elem_beats() {
+            let w = self.channels[c].pop_front().expect("beat available");
+            bits |= u64::from(w) << (32 * beat);
+        }
+        self.beats_popped += self.elem_beats() as u64;
+        Value::from_bits(self.elem_ty, bits)
+    }
+
+    /// Current occupancy (beats) of channel `c`.
+    #[must_use]
+    pub fn occupancy(&self, c: usize) -> usize {
+        self.channels[c].len()
+    }
+
+    /// True when every channel is empty.
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        self.channels.iter().all(VecDeque::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(ty: Ty, channels: u32) -> QueueState {
+        QueueState::new(
+            &QueueInfo { name: "q".into(), elem_ty: ty, channels },
+            16,
+        )
+    }
+
+    #[test]
+    fn i32_roundtrip_fifo_order() {
+        let mut qs = q(Ty::I32, 2);
+        qs.push(0, Value::I32(1));
+        qs.push(0, Value::I32(2));
+        qs.push(1, Value::I32(3));
+        assert_eq!(qs.pop(0), Value::I32(1));
+        assert_eq!(qs.pop(0), Value::I32(2));
+        assert_eq!(qs.pop(1), Value::I32(3));
+        assert!(qs.is_drained());
+    }
+
+    #[test]
+    fn f64_takes_two_beats() {
+        let mut qs = q(Ty::F64, 1);
+        assert_eq!(qs.elem_beats(), 2);
+        qs.push(0, Value::F64(-3.5));
+        assert_eq!(qs.occupancy(0), 2);
+        assert_eq!(qs.pop(0), Value::F64(-3.5));
+        assert_eq!(qs.beats_pushed, 2);
+        assert_eq!(qs.beats_popped, 2);
+    }
+
+    #[test]
+    fn capacity_is_in_beats() {
+        let mut qs = q(Ty::F64, 1);
+        for i in 0..8 {
+            assert!(qs.can_push(0), "push {i}");
+            qs.push(0, Value::F64(f64::from(i)));
+        }
+        assert!(!qs.can_push(0)); // 8 × 2 beats = 16 = depth
+    }
+
+    #[test]
+    fn broadcast_needs_space_everywhere() {
+        let mut qs = q(Ty::I32, 2);
+        for _ in 0..16 {
+            qs.push(0, Value::I32(0));
+        }
+        assert!(!qs.can_push_all());
+        assert!(qs.can_push(1));
+        let _ = qs.pop(0);
+        assert!(qs.can_push_all());
+        qs.push_all(Value::I32(7));
+        assert_eq!(qs.pop(1), Value::I32(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "pop from empty")]
+    fn pop_empty_panics() {
+        let mut qs = q(Ty::I32, 1);
+        let _ = qs.pop(0);
+    }
+
+    #[test]
+    fn peak_occupancy_tracks() {
+        let mut qs = q(Ty::I32, 1);
+        qs.push(0, Value::I32(1));
+        qs.push(0, Value::I32(2));
+        let _ = qs.pop(0);
+        assert_eq!(qs.peak_beats, 2);
+    }
+}

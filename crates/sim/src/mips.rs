@@ -1,0 +1,306 @@
+//! MIPS soft-core timing model (the paper's CPU baseline, §4.1).
+//!
+//! A single-issue in-order core: one instruction per cycle plus hazard and
+//! latency penalties, instruction fetch through a private direct-mapped
+//! I-cache (512 × 128 B, 1 port) and data through the shared D-cache.
+//! Soft-core floating point is an unpipelined coprocessor, so FP latencies
+//! serialize — the main reason specialization wins even before
+//! parallelization.
+
+use crate::cache::{CacheConfig, CacheSystem};
+use crate::interp::{run_function, ExecHooks, InterpError};
+use crate::mem::SimMemory;
+use crate::value::Value;
+use cgpa_ir::{BinOp, Function, InstId, Op, Ty};
+
+/// Per-class instruction costs (issue cycles).
+#[derive(Debug, Clone, Copy)]
+pub struct MipsConfig {
+    /// Simple ALU / address op.
+    pub int_op: u64,
+    /// Integer multiply.
+    pub mul: u64,
+    /// Integer divide / remainder.
+    pub div: u64,
+    /// FP add/sub (f32).
+    pub fadd32: u64,
+    /// FP add/sub (f64).
+    pub fadd64: u64,
+    /// FP multiply (f32).
+    pub fmul32: u64,
+    /// FP multiply (f64).
+    pub fmul64: u64,
+    /// FP divide.
+    pub fdiv: u64,
+    /// FP compare.
+    pub fcmp: u64,
+    /// Taken-branch penalty.
+    pub branch_taken: u64,
+    /// Extra cycles per IR instruction to account for the ~1.4× MIPS
+    /// instruction expansion of IR operations (immediates, address
+    /// formation, spills), in hundredths (170 = 1.7 fetch slots per op).
+    pub fetch_expansion_pct: u64,
+    /// D-cache geometry (1 port for the core).
+    pub dcache: CacheConfig,
+    /// I-cache geometry.
+    pub icache: CacheConfig,
+}
+
+impl Default for MipsConfig {
+    fn default() -> Self {
+        MipsConfig {
+            int_op: 1,
+            mul: 2,
+            div: 18,
+            fadd32: 4,
+            fadd64: 5,
+            fmul32: 5,
+            fmul64: 7,
+            fdiv: 24,
+            fcmp: 3,
+            branch_taken: 3,
+            fetch_expansion_pct: 170,
+            dcache: CacheConfig { banks: 1, ..CacheConfig::default() },
+            icache: CacheConfig { banks: 1, ..CacheConfig::default() },
+        }
+    }
+}
+
+/// Result of a timed MIPS run.
+#[derive(Debug, Clone)]
+pub struct MipsRun {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Executed IR instructions.
+    pub instructions: u64,
+    /// Return value of the kernel, if any.
+    pub ret: Option<Value>,
+    /// D-cache statistics.
+    pub dcache: crate::cache::CacheStats,
+    /// I-cache statistics.
+    pub icache: crate::cache::CacheStats,
+}
+
+struct MipsTimer<'c> {
+    cfg: &'c MipsConfig,
+    cycles: u64,
+    dcache: CacheSystem,
+    icache: CacheSystem,
+    /// Synthetic code base for instruction fetch addresses.
+    code_base: u32,
+    raw_insts: u64,
+}
+
+impl ExecHooks for MipsTimer<'_> {
+    fn on_inst(&mut self, func: &Function, inst: InstId) {
+        self.raw_insts += 1;
+        // Instruction fetch: a miss stalls the front end.
+        let pc = self.code_base + inst.0 * 4;
+        let done = self.icache.request(self.cycles, pc);
+        if done > self.cycles + u64::from(self.cfg.icache.hit_latency) {
+            self.cycles = done;
+        }
+        let cost = match &func.inst(inst).op {
+            Op::Binary { op, lhs, .. } => {
+                let wide = func.value_ty(*lhs) == Ty::F64;
+                match op {
+                    BinOp::Mul => self.cfg.mul,
+                    BinOp::SDiv | BinOp::SRem => self.cfg.div,
+                    BinOp::FAdd | BinOp::FSub => {
+                        if wide {
+                            self.cfg.fadd64
+                        } else {
+                            self.cfg.fadd32
+                        }
+                    }
+                    BinOp::FMul => {
+                        if wide {
+                            self.cfg.fmul64
+                        } else {
+                            self.cfg.fmul32
+                        }
+                    }
+                    BinOp::FDiv => self.cfg.fdiv,
+                    _ => self.cfg.int_op,
+                }
+            }
+            Op::FCmp { .. } => self.cfg.fcmp,
+            // Loads/stores issue in 1 cycle; the D-cache adds its latency in
+            // `on_mem`.
+            Op::Load { .. } | Op::Store { .. } => self.cfg.int_op,
+            Op::Phi { .. } => 0, // register move folded into the producer
+            _ => self.cfg.int_op,
+        };
+        // Apply the IR→MIPS expansion to the base issue cost only.
+        let cost = if cost == self.cfg.int_op {
+            cost * self.cfg.fetch_expansion_pct / 100
+        } else {
+            cost
+        };
+        self.cycles += cost.max(if matches!(func.inst(inst).op, Op::Phi { .. }) { 0 } else { 1 });
+    }
+
+    fn on_mem(&mut self, addr: u32, _size: u32, _store: bool) {
+        // The soft core blocks on every data access (no load/store queue):
+        // a hit costs the cache latency, a miss the full fill.
+        let done = self.dcache.request(self.cycles, addr);
+        self.cycles = self.cycles.max(done);
+    }
+
+    fn on_branch(&mut self, taken: bool) {
+        if taken {
+            self.cycles += self.cfg.branch_taken;
+        }
+    }
+}
+
+/// Run `func` on the MIPS timing model.
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use cgpa_ir::{builder::FunctionBuilder, Ty};
+/// use cgpa_sim::mips::{run_mips, MipsConfig};
+/// use cgpa_sim::{SimMemory, Value};
+///
+/// let mut b = FunctionBuilder::new("peek", &[("p", Ty::Ptr)], Some(Ty::I32));
+/// let p = b.param(0);
+/// let x = b.load(p, Ty::I32);
+/// b.ret(Some(x));
+/// let f = b.finish()?;
+///
+/// let mut mem = SimMemory::new(4096);
+/// let a = mem.alloc(4, 4);
+/// mem.write_i32(a, 7);
+/// let run = run_mips(&f, &[Value::Ptr(a)], &mut mem, 1000, &MipsConfig::default())?;
+/// assert_eq!(run.ret, Some(Value::I32(7)));
+/// assert!(run.cycles >= 24); // the cold miss dominates
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+/// Forwards interpreter errors ([`InterpError`]).
+pub fn run_mips(
+    func: &Function,
+    args: &[Value],
+    mem: &mut SimMemory,
+    fuel: u64,
+    cfg: &MipsConfig,
+) -> Result<MipsRun, InterpError> {
+    let mut timer = MipsTimer {
+        cfg,
+        cycles: 0,
+        dcache: CacheSystem::new(cfg.dcache),
+        icache: CacheSystem::new(cfg.icache),
+        code_base: 0x8000_0000u32 >> 1, // synthetic text segment
+        raw_insts: 0,
+    };
+    let (ret, instructions) = run_function(func, args, mem, fuel, &mut timer)?;
+    Ok(MipsRun {
+        cycles: timer.cycles,
+        instructions,
+        ret,
+        dcache: timer.dcache.stats,
+        icache: timer.icache.stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgpa_ir::{builder::FunctionBuilder, inst::IntPredicate, Ty};
+
+    fn stride_loop(stride: u32) -> Function {
+        // for (i = 0; i < n; i++) s += a[i*stride];
+        let mut b = FunctionBuilder::new("s", &[("a", Ty::Ptr), ("n", Ty::I32)], Some(Ty::F64));
+        let a = b.param(0);
+        let n = b.param(1);
+        let header = b.append_block("header");
+        let body = b.append_block("body");
+        let exit = b.append_block("exit");
+        let zero = b.const_i32(0);
+        let one = b.const_i32(1);
+        let zf = b.const_f64(0.0);
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Ty::I32, "i");
+        let s = b.phi(Ty::F64, "s");
+        let c = b.icmp(IntPredicate::Slt, i, n);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let p = b.gep(a, i, stride, 0);
+        let x = b.load(p, Ty::F64);
+        let s2 = b.binary(BinOp::FAdd, s, x);
+        let i2 = b.binary(BinOp::Add, i, one);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(s));
+        b.add_phi_incoming(i, b.entry_block(), zero);
+        b.add_phi_incoming(i, body, i2);
+        b.add_phi_incoming(s, b.entry_block(), zf);
+        b.add_phi_incoming(s, body, s2);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn timed_run_preserves_functional_result() {
+        let f = stride_loop(8);
+        let mut mem = SimMemory::new(1 << 20);
+        let base = mem.alloc(8 * 100, 8);
+        for i in 0..100 {
+            mem.write_f64(base + i * 8, 1.0);
+        }
+        let run = run_mips(
+            &f,
+            &[Value::Ptr(base), Value::I32(100)],
+            &mut mem,
+            1_000_000,
+            &MipsConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(run.ret, Some(Value::F64(100.0)));
+        // More cycles than instructions: CPI > 1 on this core.
+        assert!(run.cycles > run.instructions);
+    }
+
+    #[test]
+    fn sparse_strides_miss_more_and_run_longer() {
+        let mk = |stride: u32| {
+            let f = stride_loop(stride);
+            let mut mem = SimMemory::new(1 << 22);
+            let base = mem.alloc(stride * 300 + 64, 8);
+            for i in 0..300 {
+                mem.write_f64(base + i * stride, 1.0);
+            }
+            run_mips(
+                &f,
+                &[Value::Ptr(base), Value::I32(300)],
+                &mut mem,
+                10_000_000,
+                &MipsConfig::default(),
+            )
+            .unwrap()
+        };
+        let dense = mk(8); // 16 values per 128B block
+        let sparse = mk(256); // every access a new block
+        assert!(sparse.dcache.misses > dense.dcache.misses * 4);
+        assert!(sparse.cycles > dense.cycles);
+    }
+
+    #[test]
+    fn icache_warms_up() {
+        let f = stride_loop(8);
+        let mut mem = SimMemory::new(1 << 20);
+        let base = mem.alloc(8 * 50, 8);
+        let run = run_mips(
+            &f,
+            &[Value::Ptr(base), Value::I32(50)],
+            &mut mem,
+            1_000_000,
+            &MipsConfig::default(),
+        )
+        .unwrap();
+        // Tiny kernel: essentially all fetches hit after the first block.
+        assert!(run.icache.hits > run.icache.misses * 20);
+    }
+}

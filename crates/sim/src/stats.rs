@@ -1,0 +1,78 @@
+//! Simulation statistics.
+
+use crate::cache::CacheStats;
+
+/// Per-worker cycle accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Cycles doing useful work (state execution progressing).
+    pub busy: u64,
+    /// Cycles stalled on a memory response.
+    pub stall_mem: u64,
+    /// Cycles stalled on FIFO back-pressure or starvation.
+    pub stall_fifo: u64,
+    /// Cycles after finishing, waiting for the join.
+    pub idle: u64,
+    /// Loop iterations executed (dispatch/header entries).
+    pub iterations: u64,
+}
+
+impl WorkerStats {
+    /// Cycles the worker existed (busy + stalls + idle).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.busy + self.stall_mem + self.stall_fifo + self.idle
+    }
+
+    /// Fraction of cycles spent busy (activity factor for the power model).
+    #[must_use]
+    pub fn activity(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.busy as f64 / t as f64
+        }
+    }
+}
+
+/// Whole-accelerator run statistics.
+#[derive(Debug, Clone, Default)]
+pub struct SystemStats {
+    /// Kernel cycles from fork to join.
+    pub cycles: u64,
+    /// Per-worker stats, in worker order.
+    pub workers: Vec<WorkerStats>,
+    /// FIFO beats moved (pushes + pops).
+    pub fifo_beats: u64,
+    /// Cache statistics.
+    pub cache: CacheStats,
+}
+
+impl SystemStats {
+    /// Total busy cycles across workers.
+    #[must_use]
+    pub fn total_busy(&self) -> u64 {
+        self.workers.iter().map(|w| w.busy).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activity_fraction() {
+        let w = WorkerStats { busy: 75, stall_mem: 15, stall_fifo: 10, idle: 0, iterations: 5 };
+        assert!((w.activity() - 0.75).abs() < 1e-12);
+        assert_eq!(w.total(), 100);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let w = WorkerStats::default();
+        assert_eq!(w.activity(), 0.0);
+        let s = SystemStats::default();
+        assert_eq!(s.total_busy(), 0);
+    }
+}
