@@ -81,22 +81,17 @@ impl SccClassification {
 pub fn classify_sccs(func: &Function, pdg: &Pdg, cond: &Condensation) -> SccClassification {
     let mut classes = Vec::with_capacity(cond.len());
     for scc in cond.topo_order() {
-        let internal_carried =
-            cond.internal_edges(pdg, scc).iter().any(|e| e.loop_carried);
+        let internal_carried = cond.internal_edges(pdg, scc).iter().any(|e| e.loop_carried);
         let class = if !internal_carried {
             SccClass::Parallel
         } else {
-            let side_effect = cond
-                .members(scc)
-                .iter()
-                .any(|&n| func.inst(pdg.nodes[n]).op.has_side_effect());
+            let side_effect =
+                cond.members(scc).iter().any(|&n| func.inst(pdg.nodes[n]).op.has_side_effect());
             if side_effect {
                 SccClass::Sequential
             } else {
-                let lightweight = !cond
-                    .members(scc)
-                    .iter()
-                    .any(|&n| func.inst(pdg.nodes[n]).op.is_heavyweight());
+                let lightweight =
+                    !cond.members(scc).iter().any(|&n| func.inst(pdg.nodes[n]).op.is_heavyweight());
                 SccClass::Replicable { lightweight }
             }
         };
@@ -136,7 +131,12 @@ pub fn has_memory_access(func: &Function, pdg: &Pdg, cond: &Condensation, scc: S
 /// and the Table 2 reproduction: which instructions belong to P/R/S
 /// sections.
 #[must_use]
-pub fn section_summary(func: &Function, pdg: &Pdg, cond: &Condensation, cls: &SccClassification) -> String {
+pub fn section_summary(
+    func: &Function,
+    pdg: &Pdg,
+    cond: &Condensation,
+    cls: &SccClassification,
+) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     for scc in cond.topo_order() {

@@ -69,7 +69,7 @@ impl ControlDeps {
         use cgpa_ir::dom::idoms_of_graph;
         let n = func.blocks.len();
         let exit = n; // virtual exit node
-        // Forward successors with back edges removed.
+                      // Forward successors with back edges removed.
         let mut fwd: Vec<Vec<usize>> = vec![Vec::new(); n];
         for u in func.block_ids() {
             for &v in cfg.succs(u) {

@@ -327,15 +327,9 @@ mod tests {
         let (f, mm) = mini_em3d();
         let pdg = build(&f, &mm);
         // Find the phi node and the next-load: edge load→phi carried.
-        let phi = pdg
-            .nodes
-            .iter()
-            .position(|&i| matches!(f.inst(i).op, Op::Phi { .. }))
-            .unwrap();
-        let carried_reg_into_phi = pdg
-            .edges
-            .iter()
-            .any(|e| e.to == phi && e.kind == DepKind::Register && e.loop_carried);
+        let phi = pdg.nodes.iter().position(|&i| matches!(f.inst(i).op, Op::Phi { .. })).unwrap();
+        let carried_reg_into_phi =
+            pdg.edges.iter().any(|e| e.to == phi && e.kind == DepKind::Register && e.loop_carried);
         assert!(carried_reg_into_phi);
     }
 
@@ -346,9 +340,10 @@ mod tests {
         let eb = pdg.exit_branches[0];
         for to in 0..pdg.len() {
             assert!(
-                pdg.edges
-                    .iter()
-                    .any(|e| e.from == eb && e.to == to && e.kind == DepKind::Control && e.loop_carried),
+                pdg.edges.iter().any(|e| e.from == eb
+                    && e.to == to
+                    && e.kind == DepKind::Control
+                    && e.loop_carried),
                 "missing carried control edge to node {to}"
             );
         }
@@ -360,13 +355,13 @@ mod tests {
         let pdg = build(&f, &mm);
         // The store (p->val) must have NO memory edge to the load of q->val
         // (other list), and only intra-iteration memory edges otherwise.
-        let store = pdg
-            .nodes
+        let store =
+            pdg.nodes.iter().position(|&i| matches!(f.inst(i).op, Op::Store { .. })).unwrap();
+        let mem_edges: Vec<_> = pdg
+            .edges
             .iter()
-            .position(|&i| matches!(f.inst(i).op, Op::Store { .. }))
-            .unwrap();
-        let mem_edges: Vec<_> =
-            pdg.edges.iter().filter(|e| e.kind == DepKind::Memory && (e.from == store || e.to == store)).collect();
+            .filter(|e| e.kind == DepKind::Memory && (e.from == store || e.to == store))
+            .collect();
         // p->val store vs p->next load: disjoint fields; q->val: other
         // region. So no memory edges at all.
         assert!(mem_edges.is_empty(), "unexpected memory edges: {mem_edges:?}");
@@ -377,11 +372,8 @@ mod tests {
         let (f, _) = mini_em3d();
         let mm = MemoryModel::new(); // no facts
         let pdg = build(&f, &mm);
-        let store = pdg
-            .nodes
-            .iter()
-            .position(|&i| matches!(f.inst(i).op, Op::Store { .. }))
-            .unwrap();
+        let store =
+            pdg.nodes.iter().position(|&i| matches!(f.inst(i).op, Op::Store { .. })).unwrap();
         let carried = pdg
             .edges
             .iter()
@@ -394,11 +386,8 @@ mod tests {
         let (f, mm) = mini_em3d();
         let pdg = build(&f, &mm);
         let eb = pdg.exit_branches[0];
-        let store = pdg
-            .nodes
-            .iter()
-            .position(|&i| matches!(f.inst(i).op, Op::Store { .. }))
-            .unwrap();
+        let store =
+            pdg.nodes.iter().position(|&i| matches!(f.inst(i).op, Op::Store { .. })).unwrap();
         // Intra-iteration control edge from the header branch to body insts.
         assert!(pdg
             .edges

@@ -243,7 +243,8 @@ mod tests {
         let (pdg, cond) = condense(&f, &mm);
         // The induction SCC: {phi, icmp, add, condbr} glued by the carried
         // reg edge and the blanket control edge.
-        let phi_node = pdg.nodes.iter().position(|&i| matches!(f.inst(i).op, Op::Phi { .. })).unwrap();
+        let phi_node =
+            pdg.nodes.iter().position(|&i| matches!(f.inst(i).op, Op::Phi { .. })).unwrap();
         let phi_scc = cond.scc_of[phi_node];
         assert_eq!(cond.members(phi_scc).len(), 4);
         // load/store/fadd/gep are in SCCs with no internal carried edges.
@@ -251,10 +252,7 @@ mod tests {
             pdg.nodes.iter().position(|&i| matches!(f.inst(i).op, Op::Store { .. })).unwrap();
         let store_scc = cond.scc_of[store_node];
         assert_ne!(store_scc, phi_scc);
-        assert!(cond
-            .internal_edges(&pdg, store_scc)
-            .iter()
-            .all(|e| !e.loop_carried));
+        assert!(cond.internal_edges(&pdg, store_scc).iter().all(|e| !e.loop_carried));
     }
 
     #[test]
@@ -273,7 +271,8 @@ mod tests {
         let (pdg, cond) = condense(&f, &mm);
         // a[i] load and store alias intra-iteration (bidirectional edges):
         // they must share an SCC together with the fadd between them.
-        let load_node = pdg.nodes.iter().position(|&i| matches!(f.inst(i).op, Op::Load { .. })).unwrap();
+        let load_node =
+            pdg.nodes.iter().position(|&i| matches!(f.inst(i).op, Op::Load { .. })).unwrap();
         let store_node =
             pdg.nodes.iter().position(|&i| matches!(f.inst(i).op, Op::Store { .. })).unwrap();
         assert_eq!(cond.scc_of[load_node], cond.scc_of[store_node]);

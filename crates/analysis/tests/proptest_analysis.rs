@@ -59,8 +59,7 @@ proptest! {
 
 /// A loop touching two arrays with stride-dependent access.
 fn two_array_loop() -> Function {
-    let mut b =
-        FunctionBuilder::new("t", &[("a", Ty::Ptr), ("bb", Ty::Ptr), ("n", Ty::I32)], None);
+    let mut b = FunctionBuilder::new("t", &[("a", Ty::Ptr), ("bb", Ty::Ptr), ("n", Ty::I32)], None);
     let a = b.param(0);
     let arr_b = b.param(1);
     let n = b.param(2);

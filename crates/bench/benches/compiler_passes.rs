@@ -14,8 +14,8 @@ use cgpa_ir::loops::LoopInfo;
 use cgpa_pipeline::transform::TransformConfig;
 use cgpa_pipeline::{partition_loop, transform_loop, PartitionConfig};
 use cgpa_rtl::schedule::schedule_function;
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 
 fn passes(c: &mut Criterion) {
     let kernels = bench_kernels(KernelSet::Quick, 42);

@@ -6,8 +6,8 @@
 use cgpa::compiler::CgpaConfig;
 use cgpa::flows::{run_cgpa, run_legup, run_mips};
 use cgpa_bench::{bench_kernels, KernelSet};
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 
 fn fig4(c: &mut Criterion) {
     let kernels = bench_kernels(KernelSet::Quick, 42);

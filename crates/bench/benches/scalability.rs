@@ -5,8 +5,8 @@ use cgpa::compiler::CgpaConfig;
 use cgpa::flows::run_cgpa;
 use cgpa_bench::{bench_kernels, scalability_sweep, suite::has_p2, KernelSet};
 use cgpa_pipeline::ReplicablePlacement;
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 
 fn scalability(c: &mut Criterion) {
     let kernels = bench_kernels(KernelSet::Quick, 42);
@@ -16,17 +16,13 @@ fn scalability(c: &mut Criterion) {
     group.sample_size(10);
     for k in &kernels {
         let rows = scalability_sweep(k, &[1, 2, 4, 8]).expect("sweep");
-        let series: Vec<String> =
-            rows.iter().map(|(w, cy)| format!("{w}w={cy}")).collect();
+        let series: Vec<String> = rows.iter().map(|(w, cy)| format!("{w}w={cy}")).collect();
         println!("scalability[{}]: {}", k.name, series.join(" "));
         if has_p2(&k.name) {
             let p1 = run_cgpa(k, CgpaConfig::default()).expect("p1");
             let p2 = run_cgpa(
                 k,
-                CgpaConfig {
-                    placement: ReplicablePlacement::Replicated,
-                    ..CgpaConfig::default()
-                },
+                CgpaConfig { placement: ReplicablePlacement::Replicated, ..CgpaConfig::default() },
             )
             .expect("p2");
             println!(
@@ -38,16 +34,11 @@ fn scalability(c: &mut Criterion) {
             );
         }
         for w in [1u32, 4, 8] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{}w", w), &k.name),
-                k,
-                |b, k| {
-                    b.iter(|| {
-                        run_cgpa(k, CgpaConfig { workers: w, ..CgpaConfig::default() })
-                            .expect("cgpa")
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{}w", w), &k.name), k, |b, k| {
+                b.iter(|| {
+                    run_cgpa(k, CgpaConfig { workers: w, ..CgpaConfig::default() }).expect("cgpa")
+                });
+            });
         }
     }
     group.finish();

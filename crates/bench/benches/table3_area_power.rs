@@ -5,8 +5,8 @@ use cgpa::compiler::CgpaConfig;
 use cgpa::flows::{run_cgpa, run_legup};
 use cgpa_bench::{bench_kernels, suite::has_p2, KernelSet};
 use cgpa_pipeline::ReplicablePlacement;
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 
 fn table3(c: &mut Criterion) {
     let kernels = bench_kernels(KernelSet::Quick, 42);
@@ -24,10 +24,7 @@ fn table3(c: &mut Criterion) {
         if has_p2(&k.name) {
             let p2 = run_cgpa(
                 k,
-                CgpaConfig {
-                    placement: ReplicablePlacement::Replicated,
-                    ..CgpaConfig::default()
-                },
+                CgpaConfig { placement: ReplicablePlacement::Replicated, ..CgpaConfig::default() },
             )
             .expect("p2");
             println!(

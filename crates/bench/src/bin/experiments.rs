@@ -111,10 +111,7 @@ fn table2(set: KernelSet) {
         } else {
             "-".to_string()
         };
-        println!(
-            "{:<14} {:<20} {:>8} {:>8}  {}",
-            k.name, k.domain, p1, p2, k.description
-        );
+        println!("{:<14} {:<20} {:>8} {:>8}  {}", k.name, k.domain, p1, p2, k.description);
     }
     println!();
 }
@@ -126,10 +123,7 @@ fn fig4(set: KernelSet) {
 /// Figure 4: loop speedups over the MIPS soft core.
 fn fig4_from(reports: &[BenchmarkReport]) {
     println!("== Figure 4: loop speedup, normalized to the MIPS software core ==");
-    println!(
-        "{:<14} {:>12} {:>12} {:>14}",
-        "benchmark", "LegUp", "CGPA", "CGPA/LegUp"
-    );
+    println!("{:<14} {:>12} {:>12} {:>14}", "benchmark", "LegUp", "CGPA", "CGPA/LegUp");
     let mut legup = Vec::new();
     let mut cgpa = Vec::new();
     let mut ratio = Vec::new();
@@ -164,7 +158,11 @@ fn fig4_from(reports: &[BenchmarkReport]) {
             )
         })
         .collect();
-    write_csv("fig4", "benchmark,mips_cycles,legup_cycles,cgpa_cycles,legup_speedup,cgpa_speedup", &rows);
+    write_csv(
+        "fig4",
+        "benchmark,mips_cycles,legup_cycles,cgpa_cycles,legup_speedup,cgpa_speedup",
+        &rows,
+    );
 }
 
 fn table3(set: KernelSet) {
@@ -282,23 +280,17 @@ fn ablation(set: KernelSet) {
         }
     }
     println!();
-    println!("== Ablation B: miss-latency tolerance (LegUp vs CGPA slowdown, x over 12-cycle miss) ==");
-    let lats = [12u32, 24, 48, 96];
     println!(
-        "{:<14} {:>16} {:>16}",
-        "benchmark", "LegUp 12->96", "CGPA 12->96"
+        "== Ablation B: miss-latency tolerance (LegUp vs CGPA slowdown, x over 12-cycle miss) =="
     );
+    let lats = [12u32, 24, 48, 96];
+    println!("{:<14} {:>16} {:>16}", "benchmark", "LegUp 12->96", "CGPA 12->96");
     for k in bench_kernels(set, 42) {
         match miss_latency_sweep(&k, &lats) {
             Ok(rows) => {
                 let (l0, c0) = (rows[0].1 as f64, rows[0].2 as f64);
                 let (ln, cn) = (rows[3].1 as f64, rows[3].2 as f64);
-                println!(
-                    "{:<14} {:>15.2}x {:>15.2}x",
-                    k.name,
-                    ln / l0,
-                    cn / c0
-                );
+                println!("{:<14} {:>15.2}x {:>15.2}x", k.name, ln / l0, cn / c0);
             }
             Err(e) => println!("{:<14} failed: {e}", k.name),
         }

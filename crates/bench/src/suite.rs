@@ -71,7 +71,11 @@ pub fn report_for(k: &BuiltKernel, workers: u32) -> Result<BenchmarkReport, Flow
 ///
 /// # Errors
 /// Forwards the first flow error.
-pub fn full_report(set: KernelSet, workers: u32, seed: u64) -> Result<Vec<BenchmarkReport>, FlowError> {
+pub fn full_report(
+    set: KernelSet,
+    workers: u32,
+    seed: u64,
+) -> Result<Vec<BenchmarkReport>, FlowError> {
     bench_kernels(set, seed).iter().map(|k| report_for(k, workers)).collect()
 }
 
@@ -80,10 +84,7 @@ pub fn full_report(set: KernelSet, workers: u32, seed: u64) -> Result<Vec<Benchm
 ///
 /// # Errors
 /// Forwards the first flow error.
-pub fn fifo_depth_sweep(
-    k: &BuiltKernel,
-    depths: &[usize],
-) -> Result<Vec<(usize, u64)>, FlowError> {
+pub fn fifo_depth_sweep(k: &BuiltKernel, depths: &[usize]) -> Result<Vec<(usize, u64)>, FlowError> {
     depths
         .iter()
         .map(|&d| {

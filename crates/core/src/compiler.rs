@@ -14,10 +14,95 @@ use cgpa_pipeline::{
     partition_loop, transform_loop, PartitionConfig, PartitionError, PipelineModule, PipelinePlan,
     ReplicablePlacement, StageKind, TransformError,
 };
-use cgpa_rtl::schedule::{schedule_function, verify_schedule};
+use cgpa_rtl::schedule::try_schedule_function;
 use cgpa_rtl::{verilog, Fsm};
 use std::error::Error;
 use std::fmt;
+
+/// How far the compiler stepped down the degradation ladder to produce a
+/// working accelerator (paper configurations, most to least aggressive:
+/// P2 replicated pipeline → P1 pipelined → single sequential worker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradationRung {
+    /// P2: heavyweight replicable sections replicated across workers.
+    Replicated,
+    /// P1: heavyweight replicable sections kept in the pipeline.
+    Pipelined,
+    /// All pipeline shapes failed: one LegUp-shaped sequential FSM worker.
+    Sequential,
+}
+
+impl fmt::Display for DegradationRung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradationRung::Replicated => f.write_str("P2"),
+            DegradationRung::Pipelined => f.write_str("P1"),
+            DegradationRung::Sequential => f.write_str("sequential"),
+        }
+    }
+}
+
+impl DegradationRung {
+    /// The placement this rung compiles with (`None` for the sequential
+    /// fallback, which bypasses partitioning entirely).
+    #[must_use]
+    pub fn placement(self) -> Option<ReplicablePlacement> {
+        match self {
+            DegradationRung::Replicated => Some(ReplicablePlacement::Replicated),
+            DegradationRung::Pipelined => Some(ReplicablePlacement::Pipelined),
+            DegradationRung::Sequential => None,
+        }
+    }
+}
+
+/// Policy for graceful degradation: which fallback rungs a failed compile
+/// may retry before giving up.
+#[derive(Debug, Clone, Copy)]
+pub struct DegradationPolicy {
+    /// Retry weaker placements (P2 → P1) after a compile failure.
+    pub allow_placement_fallback: bool,
+    /// Fall back to a single sequential worker when every pipeline shape
+    /// fails.
+    pub allow_sequential_fallback: bool,
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        DegradationPolicy { allow_placement_fallback: true, allow_sequential_fallback: true }
+    }
+}
+
+/// Outcome of [`CgpaCompiler::compile_degraded`].
+#[derive(Debug)]
+pub enum DegradedCompile {
+    /// A pipeline compiled at `rung`; `attempts` lists the rungs that
+    /// failed before it (empty when the first try succeeded).
+    Pipeline {
+        /// The compiled pipeline.
+        compiled: Box<Compiled>,
+        /// The rung it compiled at.
+        rung: DegradationRung,
+        /// Failed higher rungs and why.
+        attempts: Vec<(DegradationRung, CompileError)>,
+    },
+    /// Every pipeline shape failed; the kernel runs as one sequential FSM
+    /// worker (its schedule verified).
+    Sequential {
+        /// Failed pipeline rungs and why.
+        attempts: Vec<(DegradationRung, CompileError)>,
+    },
+}
+
+impl DegradedCompile {
+    /// The rung this outcome landed on.
+    #[must_use]
+    pub fn rung(&self) -> DegradationRung {
+        match self {
+            DegradedCompile::Pipeline { rung, .. } => *rung,
+            DegradedCompile::Sequential { .. } => DegradationRung::Sequential,
+        }
+    }
+}
 
 /// Compiler configuration (paper §4.1 defaults: 4 workers, 16-deep FIFOs).
 #[derive(Debug, Clone, Copy)]
@@ -140,11 +225,59 @@ impl CgpaCompiler {
         )?;
         let mut fsms = Vec::new();
         for f in &pipeline.module.funcs {
-            let fsm = schedule_function(f);
-            verify_schedule(f, &fsm).map_err(|e| CompileError::Schedule(e.to_string()))?;
+            let fsm =
+                try_schedule_function(f).map_err(|e| CompileError::Schedule(e.to_string()))?;
             fsms.push(fsm);
         }
         Ok(Compiled { pipeline, plan, shape, fsms, pdg, condensation, classification })
+    }
+
+    /// [`CgpaCompiler::compile`] with graceful degradation: when a rung
+    /// fails (partition infeasible, transform invariant broken, schedule
+    /// rejected), step down the ladder P2 → P1 → single sequential worker
+    /// instead of erroring, as far as `policy` allows. The ladder starts at
+    /// the configured placement, so a P1 compiler never "upgrades" to P2.
+    ///
+    /// # Errors
+    /// The last rung's [`CompileError`] when every permitted rung fails
+    /// (including schedule verification of the sequential fallback).
+    pub fn compile_degraded(
+        &self,
+        func: &Function,
+        model: &MemoryModel,
+        policy: DegradationPolicy,
+    ) -> Result<DegradedCompile, CompileError> {
+        let ladder: &[DegradationRung] = match self.config.placement {
+            ReplicablePlacement::Replicated => {
+                &[DegradationRung::Replicated, DegradationRung::Pipelined]
+            }
+            ReplicablePlacement::Pipelined => &[DegradationRung::Pipelined],
+        };
+        let mut attempts: Vec<(DegradationRung, CompileError)> = Vec::new();
+        for &rung in ladder {
+            if !attempts.is_empty() && !policy.allow_placement_fallback {
+                break;
+            }
+            let mut config = self.config;
+            config.placement = rung.placement().unwrap_or(config.placement);
+            match CgpaCompiler::new(config).compile(func, model) {
+                Ok(compiled) => {
+                    return Ok(DegradedCompile::Pipeline {
+                        compiled: Box::new(compiled),
+                        rung,
+                        attempts,
+                    })
+                }
+                Err(e) => attempts.push((rung, e)),
+            }
+        }
+        if policy.allow_sequential_fallback {
+            // The LegUp-shaped fallback still has to schedule cleanly.
+            try_schedule_function(func)
+                .map_err(|e| CompileError::Schedule(format!("sequential fallback: {e}")))?;
+            return Ok(DegradedCompile::Sequential { attempts });
+        }
+        Err(attempts.pop().map_or(CompileError::NoTargetLoop, |(_, e)| e))
     }
 
     /// Emit the complete Verilog design: the primitive library, one module
@@ -294,8 +427,8 @@ impl CgpaCompiler {
             )?;
             let mut fsms = Vec::new();
             for f in &pipeline.module.funcs {
-                let fsm = schedule_function(f);
-                verify_schedule(f, &fsm).map_err(|e| CompileError::Schedule(e.to_string()))?;
+                let fsm =
+                    try_schedule_function(f).map_err(|e| CompileError::Schedule(e.to_string()))?;
                 fsms.push(fsm);
             }
             current = pipeline.parent.clone();
@@ -314,8 +447,7 @@ impl CgpaCompiler {
         }
         // The final parent must itself satisfy the scheduling constraints
         // (one fork per state, different loops in different cycles).
-        let parent_fsm = schedule_function(&current);
-        verify_schedule(&current, &parent_fsm)
+        try_schedule_function(&current)
             .map_err(|e| CompileError::Schedule(format!("parent: {e}")))?;
         Ok(CompiledProgram { accelerators, parent: current })
     }

@@ -9,16 +9,19 @@
 //! Every hardware flow validates the final memory image and return value
 //! against the functional reference before reporting numbers.
 
-use crate::compiler::{CgpaCompiler, CgpaConfig, CompileError, Compiled};
+use crate::compiler::{
+    CgpaCompiler, CgpaConfig, CompileError, Compiled, DegradationPolicy, DegradationRung,
+    DegradedCompile,
+};
 use cgpa_kernels::BuiltKernel;
 use cgpa_pipeline::StageKind;
 use cgpa_rtl::area::{estimate_area, fifo_area, AreaModel, AreaReport};
-use cgpa_rtl::power::{evaluate, energy_efficiency, ActivityTrace, PowerModel, PowerReport};
+use cgpa_rtl::power::{energy_efficiency, evaluate, ActivityTrace, PowerModel, PowerReport};
 use cgpa_rtl::schedule::schedule_function;
 use cgpa_sim::cache::CacheConfig;
 use cgpa_sim::interp::run_with_accelerator;
 use cgpa_sim::mips::{run_mips as sim_run_mips, MipsConfig};
-use cgpa_sim::{HwConfig, HwError, HwSystem, SimMemory, SystemStats, Value};
+use cgpa_sim::{FaultPlan, HwConfig, HwError, HwSystem, SimMemory, SystemStats, Value};
 use std::error::Error;
 use std::fmt;
 
@@ -42,6 +45,9 @@ pub struct RunResult {
     pub shape: Option<String>,
     /// Detailed simulator statistics, when applicable.
     pub stats: Option<SystemStats>,
+    /// Degradation rung the compile landed on (None when the run did not go
+    /// through [`run_cgpa_degraded`]).
+    pub rung: Option<DegradationRung>,
 }
 
 /// Flow failure.
@@ -99,6 +105,7 @@ pub fn run_mips(k: &BuiltKernel) -> Result<RunResult, FlowError> {
         efficiency: 0.0,
         shape: None,
         stats: None,
+        rung: None,
     })
 }
 
@@ -139,6 +146,7 @@ pub fn run_legup(k: &BuiltKernel) -> Result<RunResult, FlowError> {
         efficiency: energy_efficiency(k.iterations, &power),
         shape: None,
         stats: Some(stats),
+        rung: None,
     })
 }
 
@@ -203,6 +211,16 @@ pub fn run_compiled_tuned(
     config: CgpaConfig,
     tuning: HwTuning,
 ) -> Result<RunResult, FlowError> {
+    run_compiled_impl(k, compiled, config, tuning, None).map(|(r, _)| r)
+}
+
+fn run_compiled_impl(
+    k: &BuiltKernel,
+    compiled: &Compiled,
+    config: CgpaConfig,
+    tuning: HwTuning,
+    fault: Option<FaultPlan>,
+) -> Result<(RunResult, Option<FaultPlan>), FlowError> {
     // One cache port per worker (paper §3.1: dedicated memory ports), up to
     // the 8-port cache of §4.1.
     let worker_count: u32 = compiled
@@ -227,6 +245,7 @@ pub fn run_compiled_tuned(
     let mut mem = k.mem.clone();
     let mut captured: Option<SystemStats> = None;
     let mut hw_err: Option<HwError> = None;
+    let mut plan_out: Option<FaultPlan> = None;
     let pm = &compiled.pipeline;
     let (ret, _) = run_with_accelerator(
         &pm.parent,
@@ -235,9 +254,13 @@ pub fn run_compiled_tuned(
         4_000_000_000,
         &mut |_loop_id: u32, live_ins: &[Value], mem: &mut SimMemory| {
             let mut sys = HwSystem::for_pipeline(pm, live_ins, hw_cfg);
+            if let Some(plan) = &fault {
+                sys.inject_faults(plan.clone());
+            }
             match sys.run(mem) {
                 Ok(stats) => {
                     captured = Some(stats);
+                    plan_out = sys.fault_plan().cloned();
                     Ok(sys.liveouts().to_vec())
                 }
                 Err(e) => {
@@ -270,23 +293,14 @@ pub fn run_compiled_tuned(
             worker_areas.push(a.clone());
         }
     }
-    let channels: u32 = pm
-        .queues
-        .iter()
-        .map(|q| pm.module.queue(q.queue).channels)
-        .sum();
+    let channels: u32 = pm.queues.iter().map(|q| pm.module.queue(q.queue).channels).sum();
     let fifo = fifo_area(&amodel, channels);
-    let total_alut: u32 =
-        worker_areas.iter().map(AreaReport::total).sum::<u32>() + fifo.total();
+    let total_alut: u32 = worker_areas.iter().map(AreaReport::total).sum::<u32>() + fifo.total();
 
     let pmodel = PowerModel::default();
     let trace = ActivityTrace {
         cycles: stats.cycles,
-        workers: worker_areas
-            .iter()
-            .cloned()
-            .zip(stats.workers.iter().map(|w| w.busy))
-            .collect(),
+        workers: worker_areas.iter().cloned().zip(stats.workers.iter().map(|w| w.busy)).collect(),
         fifo_beats: stats.fifo_beats,
         cache_accesses: stats.cache.accesses,
         cache_ports: worker_count.clamp(1, 8),
@@ -297,7 +311,7 @@ pub fn run_compiled_tuned(
         cgpa_pipeline::ReplicablePlacement::Pipelined => "CGPA(P1)",
         cgpa_pipeline::ReplicablePlacement::Replicated => "CGPA(P2)",
     };
-    Ok(RunResult {
+    let result = RunResult {
         config: label.to_string(),
         cycles: stats.cycles,
         alut: total_alut,
@@ -306,7 +320,66 @@ pub fn run_compiled_tuned(
         efficiency: energy_efficiency(k.iterations, &power),
         shape: Some(compiled.shape.clone()),
         stats: Some(stats),
-    })
+        rung: None,
+    };
+    Ok((result, plan_out))
+}
+
+/// Run the kernel with a [`FaultPlan`] armed on the pipeline simulator.
+///
+/// On success the run was bit-exact against the functional reference despite
+/// the plan (timing-only faults, or faults that never fired); the returned
+/// plan records which faults actually fired. A corrupting fault that the
+/// hardware catches surfaces as [`FlowError::Hw`] wrapping
+/// [`HwError::Fault`].
+///
+/// # Errors
+/// See [`FlowError`].
+pub fn run_cgpa_with_faults(
+    k: &BuiltKernel,
+    config: CgpaConfig,
+    plan: FaultPlan,
+) -> Result<(RunResult, FaultPlan), FlowError> {
+    let compiler = CgpaCompiler::new(config);
+    let compiled = compiler.compile(&k.func, &k.model)?;
+    let (r, plan_out) =
+        run_compiled_impl(k, &compiled, config, HwTuning::default(), Some(plan.clone()))?;
+    Ok((r, plan_out.unwrap_or(plan)))
+}
+
+/// Compile with the graceful-degradation ladder and run whatever rung the
+/// compile lands on (paper-shaped pipeline when possible, LegUp-style
+/// sequential accelerator as the last rung).
+///
+/// The returned [`RunResult::rung`] records the rung taken; the `config`
+/// label reads `CGPA(seq-fallback)` when the sequential rung was used.
+///
+/// # Errors
+/// [`FlowError::Compile`] when even the sequential fallback cannot be
+/// scheduled; otherwise see [`FlowError`].
+pub fn run_cgpa_degraded(
+    k: &BuiltKernel,
+    config: CgpaConfig,
+    policy: DegradationPolicy,
+) -> Result<RunResult, FlowError> {
+    let compiler = CgpaCompiler::new(config);
+    match compiler.compile_degraded(&k.func, &k.model, policy)? {
+        DegradedCompile::Pipeline { compiled, rung, .. } => {
+            let mut run_cfg = config;
+            if let Some(p) = rung.placement() {
+                run_cfg.placement = p;
+            }
+            let mut r = run_compiled_tuned(k, &compiled, run_cfg, HwTuning::default())?;
+            r.rung = Some(rung);
+            Ok(r)
+        }
+        DegradedCompile::Sequential { .. } => {
+            let mut r = run_legup(k)?;
+            r.config = "CGPA(seq-fallback)".to_string();
+            r.rung = Some(DegradationRung::Sequential);
+            Ok(r)
+        }
+    }
 }
 
 /// Compare a hardware run's memory and return value against the reference.

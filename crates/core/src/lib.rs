@@ -36,6 +36,12 @@ pub mod compiler;
 pub mod flows;
 pub mod report;
 
-pub use compiler::{CgpaCompiler, CgpaConfig, Compiled, CompileError};
-pub use flows::{run_cgpa, run_cgpa_tuned, run_legup, run_mips, FlowError, HwTuning, RunResult};
+pub use compiler::{
+    CgpaCompiler, CgpaConfig, CompileError, Compiled, DegradationPolicy, DegradationRung,
+    DegradedCompile,
+};
+pub use flows::{
+    run_cgpa, run_cgpa_degraded, run_cgpa_tuned, run_cgpa_with_faults, run_compiled,
+    run_compiled_tuned, run_legup, run_mips, FlowError, HwTuning, RunResult,
+};
 pub use report::{geomean, pipeline_summary, BenchmarkReport};

@@ -75,6 +75,7 @@ mod tests {
             efficiency: 0.0,
             shape: None,
             stats: None,
+            rung: None,
         }
     }
 

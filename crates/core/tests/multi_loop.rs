@@ -138,10 +138,7 @@ fn multi_loop_program_runs_and_matches_reference() {
     .unwrap();
     assert_eq!(forks_seen, vec![0, 1]);
     assert_eq!(hw_ret, ref_ret);
-    assert_eq!(
-        hw_mem.read_bytes(0, hw_mem.size()),
-        ref_mem.read_bytes(0, ref_mem.size())
-    );
+    assert_eq!(hw_mem.read_bytes(0, hw_mem.size()), ref_mem.read_bytes(0, ref_mem.size()));
 }
 
 #[test]

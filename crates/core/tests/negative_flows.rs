@@ -13,7 +13,8 @@ use cgpa_sim::{SimMemory, Value};
 /// `for (i = 0; i < n; i++) *acc = *acc + a[i];` — a memory-carried
 /// reduction through one cell.
 fn acc_loop() -> Function {
-    let mut b = FunctionBuilder::new("acc", &[("a", Ty::Ptr), ("acc", Ty::Ptr), ("n", Ty::I32)], None);
+    let mut b =
+        FunctionBuilder::new("acc", &[("a", Ty::Ptr), ("acc", Ty::Ptr), ("n", Ty::I32)], None);
     let a = b.param(0);
     let acc = b.param(1);
     let n = b.param(2);
@@ -71,13 +72,8 @@ fn sound_annotations_reject_the_sequential_loop() {
     mm.bind_param(0, ra);
     mm.bind_param(1, racc);
     let k = workload(acc_loop(), mm);
-    let err = CgpaCompiler::new(CgpaConfig::default())
-        .compile(&k.func, &k.model)
-        .unwrap_err();
-    assert!(matches!(
-        err,
-        CompileError::Partition(PartitionError::NoParallelWork)
-    ));
+    let err = CgpaCompiler::new(CgpaConfig::default()).compile(&k.func, &k.model).unwrap_err();
+    assert!(matches!(err, CompileError::Partition(PartitionError::NoParallelWork)));
 }
 
 #[test]
@@ -97,7 +93,7 @@ fn unsound_annotations_are_caught_by_verification() {
             // The report pinpoints the corrupted words.
             assert!(msg.contains("differing word"), "diff report missing: {msg}");
         }
-        Err(FlowError::Compile(_)) => {}  // also acceptable: refused earlier
+        Err(FlowError::Compile(_)) => {} // also acceptable: refused earlier
         Ok(r) => {
             // If the round-robin interleaving happens to produce the right
             // sum the run could pass — integer addition is commutative and

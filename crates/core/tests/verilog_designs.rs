@@ -42,7 +42,11 @@ fn every_kernel_emits_a_complete_design() {
         // One FIFO instance per channel.
         let channels: u32 =
             c.pipeline.queues.iter().map(|q| c.pipeline.module.queue(q.queue).channels).sum();
-        assert_eq!(v.matches("cgpa_fifo #(.WIDTH").count() as u32, channels, "{name}: fifo instances");
+        assert_eq!(
+            v.matches("cgpa_fifo #(.WIDTH").count() as u32,
+            channels,
+            "{name}: fifo instances"
+        );
         // Top and testbench close properly.
         assert!(v.contains(&format!("module {}_acc", c.pipeline.module.name)), "{name}");
         assert!(v.contains(&format!("module tb_{}_acc", c.pipeline.module.name)), "{name}");

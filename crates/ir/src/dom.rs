@@ -29,8 +29,9 @@ impl DomTree {
     #[must_use]
     pub fn dominators(_func: &Function, cfg: &Cfg) -> Self {
         let n = cfg.len();
-        let succs: Vec<Vec<NodeIdx>> =
-            (0..n).map(|i| cfg.succs(BlockId(i as u32)).iter().map(|b| b.index()).collect()).collect();
+        let succs: Vec<Vec<NodeIdx>> = (0..n)
+            .map(|i| cfg.succs(BlockId(i as u32)).iter().map(|b| b.index()).collect())
+            .collect();
         let idom = compute_idoms(n, 0, &succs);
         DomTree { idom, root: 0, num_blocks: n }
     }
@@ -181,7 +182,12 @@ fn compute_idoms(n: usize, root: NodeIdx, succs: &[Vec<NodeIdx>]) -> Vec<Option<
     idom
 }
 
-fn intersect(idom: &[Option<NodeIdx>], po_num: &[usize], mut a: NodeIdx, mut b: NodeIdx) -> NodeIdx {
+fn intersect(
+    idom: &[Option<NodeIdx>],
+    po_num: &[usize],
+    mut a: NodeIdx,
+    mut b: NodeIdx,
+) -> NodeIdx {
     while a != b {
         while po_num[a] < po_num[b] {
             a = idom[a].expect("reachable node has idom during intersect");

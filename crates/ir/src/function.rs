@@ -173,7 +173,12 @@ impl Function {
     /// Append an instruction to `block`, assigning a fresh result value if
     /// the operation produces one. Used by the builder and by the pipeline
     /// transform.
-    pub fn push_inst(&mut self, block: BlockId, op: Op, name: Option<String>) -> (InstId, Option<ValueId>) {
+    pub fn push_inst(
+        &mut self,
+        block: BlockId,
+        op: Op,
+        name: Option<String>,
+    ) -> (InstId, Option<ValueId>) {
         let id = InstId(self.insts.len() as u32);
         let result_ty = op.result_ty(|v| self.value_ty(v));
         let result = result_ty.map(|ty| {

@@ -290,9 +290,9 @@ impl Op {
     #[must_use]
     pub fn operands(&self) -> Vec<ValueId> {
         match self {
-            Op::Binary { lhs, rhs, .. }
-            | Op::ICmp { lhs, rhs, .. }
-            | Op::FCmp { lhs, rhs, .. } => vec![*lhs, *rhs],
+            Op::Binary { lhs, rhs, .. } | Op::ICmp { lhs, rhs, .. } | Op::FCmp { lhs, rhs, .. } => {
+                vec![*lhs, *rhs]
+            }
             Op::Select { cond, on_true, on_false } => vec![*cond, *on_true, *on_false],
             Op::Cast { value, .. } => vec![*value],
             Op::Load { addr, .. } => vec![*addr],
@@ -318,9 +318,7 @@ impl Op {
     /// transform when cloning instructions into task functions).
     pub fn map_operands(&mut self, mut f: impl FnMut(ValueId) -> ValueId) {
         match self {
-            Op::Binary { lhs, rhs, .. }
-            | Op::ICmp { lhs, rhs, .. }
-            | Op::FCmp { lhs, rhs, .. } => {
+            Op::Binary { lhs, rhs, .. } | Op::ICmp { lhs, rhs, .. } | Op::FCmp { lhs, rhs, .. } => {
                 *lhs = f(*lhs);
                 *rhs = f(*rhs);
             }
@@ -385,10 +383,7 @@ impl Op {
     /// `produce_broadcast`).
     #[must_use]
     pub fn is_queue_op(&self) -> bool {
-        matches!(
-            self,
-            Op::Produce { .. } | Op::ProduceBroadcast { .. } | Op::Consume { .. }
-        )
+        matches!(self, Op::Produce { .. } | Op::ProduceBroadcast { .. } | Op::Consume { .. })
     }
 
     /// True if the operation has an effect other than producing its result:
@@ -478,8 +473,14 @@ mod tests {
             Op::Binary { op: BinOp::FAdd, lhs: v(0), rhs: v(1) }.result_ty(tys),
             Some(Ty::F64)
         );
-        assert_eq!(Op::ICmp { pred: IntPredicate::Eq, lhs: v(0), rhs: v(1) }.result_ty(tys), Some(Ty::I1));
-        assert_eq!(Op::Gep { base: v(0), index: None, scale: 0, offset: 0 }.result_ty(tys), Some(Ty::Ptr));
+        assert_eq!(
+            Op::ICmp { pred: IntPredicate::Eq, lhs: v(0), rhs: v(1) }.result_ty(tys),
+            Some(Ty::I1)
+        );
+        assert_eq!(
+            Op::Gep { base: v(0), index: None, scale: 0, offset: 0 }.result_ty(tys),
+            Some(Ty::Ptr)
+        );
         assert_eq!(Op::Br { target: BlockId(0) }.result_ty(tys), None);
     }
 

@@ -29,10 +29,7 @@ pub fn simplify_cfg(func: &mut Function) -> usize {
 }
 
 fn block_has_phis(func: &Function, b: BlockId) -> bool {
-    func.block(b)
-        .insts
-        .first()
-        .is_some_and(|&i| matches!(func.inst(i).op, Op::Phi { .. }))
+    func.block(b).insts.first().is_some_and(|&i| matches!(func.inst(i).op, Op::Phi { .. }))
 }
 
 fn simplify_once(func: &mut Function) -> usize {
@@ -67,9 +64,8 @@ fn simplify_once(func: &mut Function) -> usize {
             // with incoming from `b` get one entry per pred of `b`; a pred
             // with a conditional branch whose BOTH targets are `b` would
             // also duplicate.
-            let both_edges = preds.iter().any(|p| {
-                cfg.succs(*p).iter().filter(|s| **s == b).count() > 1
-            });
+            let both_edges =
+                preds.iter().any(|p| cfg.succs(*p).iter().filter(|s| **s == b).count() > 1);
             if both_edges {
                 continue;
             }

@@ -96,7 +96,9 @@ fn render_inst(func: &Function, inst: &Inst) -> String {
         Op::Produce { queue, worker_sel, value } => {
             format!("produce {queue}[{}], {}", o(*worker_sel), o(*value))
         }
-        Op::ProduceBroadcast { queue, value } => format!("produce_broadcast {queue}, {}", o(*value)),
+        Op::ProduceBroadcast { queue, value } => {
+            format!("produce_broadcast {queue}, {}", o(*value))
+        }
         Op::Consume { queue, channel_sel, ty } => {
             format!("consume {queue}[{}] : {ty}", o(*channel_sel))
         }

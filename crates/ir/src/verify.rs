@@ -38,7 +38,10 @@ impl fmt::Display for VerifyError {
                 write!(f, "function `{func}`: terminator {inst} before end of block {block}")
             }
             VerifyError::PhiPredecessorMismatch { func, block, inst } => {
-                write!(f, "function `{func}`: phi {inst} in block {block} does not match predecessors")
+                write!(
+                    f,
+                    "function `{func}`: phi {inst} in block {block} does not match predecessors"
+                )
             }
             VerifyError::PhiNotAtBlockStart { func, block, inst } => {
                 write!(f, "function `{func}`: phi {inst} is not at the start of block {block}")
@@ -81,7 +84,11 @@ pub fn verify(func: &Function) -> Result<(), VerifyError> {
         for &i in &block.insts {
             let inst = func.inst(i);
             if inst.op.is_terminator() && i != last {
-                return Err(VerifyError::EarlyTerminator { func: func.name.clone(), block: b, inst: i });
+                return Err(VerifyError::EarlyTerminator {
+                    func: func.name.clone(),
+                    block: b,
+                    inst: i,
+                });
             }
             match inst.op {
                 Op::Phi { .. } => {
@@ -209,7 +216,10 @@ fn type_check(func: &Function) -> Result<(), VerifyError> {
                 if op.is_float() != float {
                     return Err(err(i, format!("{} on {}", op.mnemonic(), ty(*lhs))));
                 }
-                if !op.is_float() && ty(*lhs) == Ty::I1 && !matches!(op, BinOp::And | BinOp::Or | BinOp::Xor) {
+                if !op.is_float()
+                    && ty(*lhs) == Ty::I1
+                    && !matches!(op, BinOp::And | BinOp::Or | BinOp::Xor)
+                {
                     return Err(err(i, "arithmetic on i1".to_string()));
                 }
             }
@@ -234,8 +244,16 @@ fn type_check(func: &Function) -> Result<(), VerifyError> {
             Op::Cast { kind, value, to } => {
                 let from = ty(*value);
                 let ok = match kind {
-                    CastKind::SExt | CastKind::ZExt => from.is_int_like() && to.is_int_like() && to.size_bytes() >= from.size_bytes(),
-                    CastKind::Trunc => from.is_int_like() && to.is_int_like() && to.size_bytes() <= from.size_bytes(),
+                    CastKind::SExt | CastKind::ZExt => {
+                        from.is_int_like()
+                            && to.is_int_like()
+                            && to.size_bytes() >= from.size_bytes()
+                    }
+                    CastKind::Trunc => {
+                        from.is_int_like()
+                            && to.is_int_like()
+                            && to.size_bytes() <= from.size_bytes()
+                    }
                     CastKind::SiToFp => from.is_int_like() && to.is_float(),
                     CastKind::FpToSi => from.is_float() && to.is_int_like(),
                     CastKind::FpCast => from.is_float() && to.is_float(),

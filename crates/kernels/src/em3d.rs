@@ -166,7 +166,8 @@ pub fn memory_model() -> MemoryModel {
 #[must_use]
 pub fn build(p: &Params, seed: u64) -> BuiltKernel {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xe3d0);
-    let bytes_needed = (p.e_nodes + p.h_nodes) * (NODE_SIZE + p.scatter + 12 * p.degree) + (1 << 16);
+    let bytes_needed =
+        (p.e_nodes + p.h_nodes) * (NODE_SIZE + p.scatter + 12 * p.degree) + (1 << 16);
     let mut mem = SimMemory::new(bytes_needed.next_power_of_two().max(1 << 18));
 
     // H-nodes first (read-only pool).

@@ -204,7 +204,12 @@ mod tests {
         let k = build(&p, 3);
         let (ir_mem, _) = k.reference();
         let mut native_mem = k.mem.clone();
-        reference_native(&mut native_mem, k.args[0].as_ptr(), k.args[1].as_ptr(), k.args[2].as_i32());
+        reference_native(
+            &mut native_mem,
+            k.args[0].as_ptr(),
+            k.args[1].as_ptr(),
+            k.args[2].as_i32(),
+        );
         assert_eq!(
             ir_mem.read_bytes(0, ir_mem.size()),
             native_mem.read_bytes(0, native_mem.size())
@@ -231,8 +236,7 @@ mod tests {
     #[test]
     fn mix_avalanches() {
         // Nearby keys spread to different buckets.
-        let buckets: std::collections::BTreeSet<i32> =
-            (0..64).map(|k| mix(k) & 63).collect();
+        let buckets: std::collections::BTreeSet<i32> = (0..64).map(|k| mix(k) & 63).collect();
         assert!(buckets.len() > 32, "poor avalanche: {} distinct", buckets.len());
     }
 

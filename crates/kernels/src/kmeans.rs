@@ -21,7 +21,9 @@
 
 use crate::BuiltKernel;
 use cgpa_analysis::MemoryModel;
-use cgpa_ir::{builder::FunctionBuilder, inst::FloatPredicate, inst::IntPredicate, BinOp, Function, Ty};
+use cgpa_ir::{
+    builder::FunctionBuilder, inst::FloatPredicate, inst::IntPredicate, BinOp, Function, Ty,
+};
 use cgpa_sim::{SimMemory, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -22,7 +22,9 @@
 
 use crate::BuiltKernel;
 use cgpa_analysis::MemoryModel;
-use cgpa_ir::{builder::FunctionBuilder, inst::FloatPredicate, inst::IntPredicate, BinOp, Function, Ty};
+use cgpa_ir::{
+    builder::FunctionBuilder, inst::FloatPredicate, inst::IntPredicate, BinOp, Function, Ty,
+};
 use cgpa_sim::{SimMemory, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -263,8 +265,12 @@ mod tests {
         let k = build(&p, 21);
         let (ir_mem, ret) = k.reference();
         let mut native_mem = k.mem.clone();
-        let gmax =
-            reference_native(&mut native_mem, k.args[0].as_ptr(), k.args[1].as_ptr(), k.args[2].as_ptr());
+        let gmax = reference_native(
+            &mut native_mem,
+            k.args[0].as_ptr(),
+            k.args[1].as_ptr(),
+            k.args[2].as_ptr(),
+        );
         assert_eq!(ret, Some(Value::F32(gmax)));
         assert_eq!(
             ir_mem.read_bytes(0, ir_mem.size()),
@@ -292,7 +298,8 @@ mod tests {
         let Some(Value::F32(gmax)) = ret else { panic!("gmax missing") };
         // Exhaustive check against a brute-force pass.
         let mut mem = k.mem.clone();
-        let brute = reference_native(&mut mem, k.args[0].as_ptr(), k.args[1].as_ptr(), k.args[2].as_ptr());
+        let brute =
+            reference_native(&mut mem, k.args[0].as_ptr(), k.args[1].as_ptr(), k.args[2].as_ptr());
         assert_eq!(gmax, brute);
     }
 }

@@ -32,8 +32,16 @@ fn pipeline_of(
     let pc = PartitionConfig { placement, ..PartitionConfig::default() };
     let plan = partition_loop(f, &pdg, &cond, &classes, pc).map_err(|e| e.to_string())?;
     let shape = plan.shape();
-    let pm = transform_loop(f, &cfg, target, &pdg, &cond, &plan, TransformConfig { workers, loop_id: 0 })
-        .map_err(|e| e.to_string())?;
+    let pm = transform_loop(
+        f,
+        &cfg,
+        target,
+        &pdg,
+        &cond,
+        &plan,
+        TransformConfig { workers, loop_id: 0 },
+    )
+    .map_err(|e| e.to_string())?;
     Ok((shape, pm))
 }
 

@@ -25,4 +25,6 @@ pub mod transform;
 
 pub use partition::{partition_loop, PartitionConfig, PartitionError, ReplicablePlacement};
 pub use plan::{PipelinePlan, StageKind, StagePlan};
-pub use transform::{transform_loop, PipelineModule, QueueKind, QueueSpec, TaskInfo, TransformError};
+pub use transform::{
+    transform_loop, PipelineModule, QueueKind, QueueSpec, TaskInfo, TransformError,
+};

@@ -203,10 +203,7 @@ pub fn partition_loop(
     let sef: Vec<bool> = all.iter().map(|&s| is_side_effect_free(func, pdg, cond, s)).collect();
     let mut uf = UnionFind::new(n);
     for e in &cond.edges {
-        if e.kind == DepKind::Register
-            && e.loop_carried
-            && sef[e.from.index()]
-            && sef[e.to.index()]
+        if e.kind == DepKind::Register && e.loop_carried && sef[e.from.index()] && sef[e.to.index()]
         {
             uf.union(e.from.0, e.to.0);
         }
@@ -222,9 +219,8 @@ pub fn partition_loop(
     // stage as round-robin work.
     let mut carried_cluster: BTreeSet<u32> = BTreeSet::new();
     for (&cid, members) in &clusters {
-        let internal_replicable = members
-            .iter()
-            .any(|&s| matches!(classes.class(s), SccClass::Replicable { .. }));
+        let internal_replicable =
+            members.iter().any(|&s| matches!(classes.class(s), SccClass::Replicable { .. }));
         if internal_replicable || (members.len() > 1) {
             carried_cluster.insert(cid);
         }
@@ -335,9 +331,7 @@ pub fn partition_loop(
     // SCCs made only of terminators are pure control: every task re-creates
     // branches anyway (control equivalence), so they are no one's "work".
     let control_only = |s: SccId| -> bool {
-        cond.members(s)
-            .iter()
-            .all(|&n| func.inst(pdg.nodes[n]).op.is_terminator())
+        cond.members(s).iter().all(|&n| func.inst(pdg.nodes[n]).op.is_terminator())
     };
     let mut parallel: BTreeSet<SccId> = BTreeSet::new();
     for &s in &all {
@@ -381,9 +375,7 @@ pub fn partition_loop(
                 continue;
             }
             let reaches_p = reachable[x.index()].iter().any(|&t| parallel.contains(&SccId(t)));
-            let reached_from_p = parallel
-                .iter()
-                .any(|p| reachable[p.index()].contains(&x.0));
+            let reached_from_p = parallel.iter().any(|p| reachable[p.index()].contains(&x.0));
             if reaches_p && reached_from_p {
                 // Demote every parallel descendant of x.
                 for &t in &reachable[x.index()] {
@@ -433,11 +425,10 @@ pub fn partition_loop(
             if !parallel.contains(&s) || !sef[i] {
                 continue;
             }
-            ok_forward[i] = cond.edges.iter().all(|e| {
-                e.from != s
-                    || !parallel.contains(&e.to)
-                    || ok_forward[e.to.index()]
-            });
+            ok_forward[i] = cond
+                .edges
+                .iter()
+                .all(|e| e.from != s || !parallel.contains(&e.to) || ok_forward[e.to.index()]);
         }
         // Weakly-connected components of the demotion candidates.
         let mut cuf = UnionFind::new(n);
@@ -533,10 +524,7 @@ pub fn partition_loop(
     for &s in &parallel {
         assignment.insert(s, stages.len());
     }
-    stages.push(StagePlan {
-        kind: StageKind::Parallel,
-        sccs: parallel.iter().copied().collect(),
-    });
+    stages.push(StagePlan { kind: StageKind::Parallel, sccs: parallel.iter().copied().collect() });
     if !post.is_empty() {
         for &s in &post {
             assignment.insert(s, stages.len());
@@ -544,12 +532,7 @@ pub fn partition_loop(
         stages.push(StagePlan { kind: StageKind::Sequential, sccs: post.clone() });
     }
 
-    let plan = PipelinePlan {
-        stages,
-        duplicated,
-        feeders: feeders.clone(),
-        assignment,
-    };
+    let plan = PipelinePlan { stages, duplicated, feeders: feeders.clone(), assignment };
 
     // Final sanity: every non-duplicated edge flows forward.
     for e in &cond.edges {
@@ -631,7 +614,12 @@ fn feeder_closure(
 /// block's frequency hint. Used for reporting pipeline balance (Appendix
 /// B.1 discusses how sequential-stage workload bounds scalability).
 #[must_use]
-pub fn stage_weights(func: &Function, pdg: &Pdg, cond: &Condensation, plan: &PipelinePlan) -> Vec<f64> {
+pub fn stage_weights(
+    func: &Function,
+    pdg: &Pdg,
+    cond: &Condensation,
+    plan: &PipelinePlan,
+) -> Vec<f64> {
     let mut weights = vec![0.0; plan.num_stages()];
     for (scc, &stage) in &plan.assignment {
         for &node in cond.members(*scc) {

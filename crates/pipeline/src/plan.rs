@@ -54,11 +54,7 @@ impl PipelinePlan {
     /// e.g. `"S-P-S"`, `"S-P"`, `"P-S"`, or `"P"`.
     #[must_use]
     pub fn shape(&self) -> String {
-        self.stages
-            .iter()
-            .map(|s| s.kind.to_string())
-            .collect::<Vec<_>>()
-            .join("-")
+        self.stages.iter().map(|s| s.kind.to_string()).collect::<Vec<_>>().join("-")
     }
 
     /// Index of the (single) parallel stage.

@@ -145,6 +145,9 @@ pub enum TransformError {
     ParallelLiveout(String),
     /// Internal: a value needed by a task could not be resolved.
     UnresolvedValue(String),
+    /// Internal: a structural invariant did not hold (a would-be panic
+    /// surfaced as an error so degradation ladders can retry).
+    Internal(String),
 }
 
 impl fmt::Display for TransformError {
@@ -162,6 +165,7 @@ impl fmt::Display for TransformError {
             TransformError::UnresolvedValue(v) => {
                 write!(f, "internal error: task value {v} could not be resolved")
             }
+            TransformError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }
@@ -209,9 +213,8 @@ pub fn transform_loop(
 
     // ---- basic maps -------------------------------------------------------
     let loop_insts: BTreeSet<InstId> = target.insts(func).into_iter().collect();
-    let inst_stage = |i: InstId| -> Option<usize> {
-        pdg.node_of(i).and_then(|n| plan.stage_of(cond.scc_of[n]))
-    };
+    let inst_stage =
+        |i: InstId| -> Option<usize> { pdg.node_of(i).and_then(|n| plan.stage_of(cond.scc_of[n])) };
 
     // Live-ins: non-constant values defined outside the loop, used inside.
     let mut live_ins: Vec<ValueId> = Vec::new();
@@ -259,7 +262,9 @@ pub fn transform_loop(
         .map(|(i, _)| i);
     let mut liveouts: Vec<LiveoutSpec> = Vec::new();
     for (slot, &v) in liveout_values.iter().enumerate() {
-        let d = func.def_of(v).expect("liveout is an instruction result");
+        let d = func
+            .def_of(v)
+            .ok_or_else(|| TransformError::Internal(format!("liveout {v} has no def")))?;
         let owner = match inst_stage(d) {
             Some(s) if plan.stages[s].kind == StageKind::Sequential => s,
             Some(_) => return Err(TransformError::ParallelLiveout(format!("{v}"))),
@@ -307,9 +312,10 @@ pub fn transform_loop(
                 dup_only.insert(pdg.nodes[n]);
             }
         }
-        let (branches, cross) = compute_body_needs(func, pdg, target, &loop_info, &base, &loop_insts);
+        let (branches, cross) =
+            compute_body_needs(func, pdg, target, &loop_info, &base, &loop_insts)?;
         let (branches_b2, cross_b2) =
-            compute_body_needs(func, pdg, target, &loop_info, &dup_only, &loop_insts);
+            compute_body_needs(func, pdg, target, &loop_info, &dup_only, &loop_insts)?;
         needs.push(TaskNeeds {
             included: base,
             branches,
@@ -331,8 +337,12 @@ pub fn transform_loop(
     let mut queue_pos: Vec<BlockId> = Vec::new();
     for (t, need) in needs.iter().enumerate() {
         for (&v, &pos) in &need.cross {
-            let d = func.def_of(v).expect("cross values are instruction results");
-            let producer = inst_stage(d).expect("cross value defs are stage-assigned");
+            let d = func
+                .def_of(v)
+                .ok_or_else(|| TransformError::Internal(format!("cross value {v} has no def")))?;
+            let producer = inst_stage(d).ok_or_else(|| {
+                TransformError::Internal(format!("cross value {v} is not stage-assigned"))
+            })?;
             debug_assert_ne!(producer, t, "cross value produced in its own stage");
             let consumer_parallel = plan.stages[t].kind == StageKind::Parallel;
             let producer_parallel = plan.stages[producer].kind == StageKind::Parallel;
@@ -378,19 +388,17 @@ pub fn transform_loop(
     // Producer-side indexes: a queue whose communication block is the def's
     // own block produces right after the def; a hoisted queue produces at
     // the top of its communication block.
-    let mut produces_by_stage: Vec<HashMap<ValueId, Vec<usize>>> =
-        vec![HashMap::new(); num_stages];
+    let mut produces_by_stage: Vec<HashMap<ValueId, Vec<usize>>> = vec![HashMap::new(); num_stages];
     let mut top_produces_by_stage: Vec<BTreeMap<BlockId, Vec<usize>>> =
         vec![BTreeMap::new(); num_stages];
     for (qi, q) in queues.iter().enumerate() {
-        let d = func.def_of(q.value).expect("cross value def");
+        let d = func.def_of(q.value).ok_or_else(|| {
+            TransformError::Internal(format!("queue value {} has no def", q.value))
+        })?;
         if func.inst(d).block == queue_pos[qi] {
             produces_by_stage[q.producer_stage].entry(q.value).or_default().push(qi);
         } else {
-            top_produces_by_stage[q.producer_stage]
-                .entry(queue_pos[qi])
-                .or_default()
-                .push(qi);
+            top_produces_by_stage[q.producer_stage].entry(queue_pos[qi]).or_default().push(qi);
         }
     }
 
@@ -451,7 +459,7 @@ fn compute_body_needs(
     loops: &LoopInfo,
     included: &BTreeSet<InstId>,
     loop_insts: &BTreeSet<InstId>,
-) -> (BTreeSet<InstId>, BTreeMap<ValueId, BlockId>) {
+) -> Result<(BTreeSet<InstId>, BTreeMap<ValueId, BlockId>), TransformError> {
     let mut branches: BTreeSet<InstId> = target.exit_branches(func).into_iter().collect();
     let mut cross: BTreeMap<ValueId, BlockId> = BTreeMap::new();
     loop {
@@ -499,13 +507,13 @@ fn compute_body_needs(
             scan(b, &mut uses_of);
         }
         for (v, uses) in uses_of {
-            let pos = comm_block(func, target, loops, v, &uses);
+            let pos = comm_block(func, target, loops, v, &uses)?;
             if cross.insert(v, pos) != Some(pos) {
                 changed = true;
             }
         }
         if !changed {
-            return (branches, cross);
+            return Ok((branches, cross));
         }
     }
 }
@@ -519,8 +527,10 @@ fn comm_block(
     loops: &LoopInfo,
     v: ValueId,
     uses: &[InstId],
-) -> BlockId {
-    let d = func.def_of(v).expect("cross value def");
+) -> Result<BlockId, TransformError> {
+    let d = func
+        .def_of(v)
+        .ok_or_else(|| TransformError::Internal(format!("cross value {v} has no def")))?;
     let db = func.inst(d).block;
     // Loops are sorted outermost-first; take the outermost nested loop the
     // hoist is legal for.
@@ -542,14 +552,14 @@ fn comm_block(
                 }
             }
         }
-        if exits.len() == 1 {
-            let t = *exits.iter().next().expect("one exit");
+        let mut exit_iter = exits.iter();
+        if let (Some(&t), None) = (exit_iter.next(), exit_iter.next()) {
             if target.contains(t) {
-                return t;
+                return Ok(t);
             }
         }
     }
-    db
+    Ok(db)
 }
 
 /// Immediate post-dominators of the loop body with back edges removed,
@@ -625,8 +635,7 @@ impl<'a> TaskEmitter<'a> {
 
     fn new_builder(&self, name: &str, parallel: bool) -> FunctionBuilder {
         let params = self.param_list(parallel);
-        let param_refs: Vec<(&str, Ty)> =
-            params.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let param_refs: Vec<(&str, Ty)> = params.iter().map(|(n, t)| (n.as_str(), *t)).collect();
         let mut b = FunctionBuilder::new(name, &param_refs, None);
         if parallel {
             b.set_worker_id_param(self.live_ins.len() as u32);
@@ -671,8 +680,8 @@ impl<'a> TaskEmitter<'a> {
         task_value: ValueId,
         it: ValueId,
         wid: Option<ValueId>,
-    ) {
-        let Some(qis) = self.produces.get(&orig_value) else { return };
+    ) -> Result<(), TransformError> {
+        let Some(qis) = self.produces.get(&orig_value) else { return Ok(()) };
         for &qi in qis {
             let q = &self.queues[qi];
             match q.kind {
@@ -681,7 +690,11 @@ impl<'a> TaskEmitter<'a> {
                     b.produce(q.queue, sel, task_value);
                 }
                 QueueKind::Gather => {
-                    let w = wid.expect("gather producer is a parallel task");
+                    let w = wid.ok_or_else(|| {
+                        TransformError::Internal(
+                            "gather producer is not a parallel task".to_string(),
+                        )
+                    })?;
                     b.produce(q.queue, w, task_value);
                 }
                 QueueKind::Direct => {
@@ -693,6 +706,7 @@ impl<'a> TaskEmitter<'a> {
                 }
             }
         }
+        Ok(())
     }
 
     /// Emit hoisted produces at the top of a cloned block (inner-loop exit
@@ -706,8 +720,8 @@ impl<'a> TaskEmitter<'a> {
         ob: BlockId,
         it: ValueId,
         wid: Option<ValueId>,
-    ) {
-        let Some(qis) = self.top_produces.get(&ob) else { return };
+    ) -> Result<(), TransformError> {
+        let Some(qis) = self.top_produces.get(&ob) else { return Ok(()) };
         for &qi in qis {
             let q = &self.queues[qi];
             let Ok(task_value) = self.resolve_ref(state, q.value) else { continue };
@@ -717,7 +731,11 @@ impl<'a> TaskEmitter<'a> {
                     b.produce(q.queue, sel, task_value);
                 }
                 QueueKind::Gather => {
-                    let w = wid.expect("gather producer is a parallel task");
+                    let w = wid.ok_or_else(|| {
+                        TransformError::Internal(
+                            "gather producer is not a parallel task".to_string(),
+                        )
+                    })?;
                     b.produce(q.queue, w, task_value);
                 }
                 QueueKind::Direct => {
@@ -729,6 +747,7 @@ impl<'a> TaskEmitter<'a> {
                 }
             }
         }
+        Ok(())
     }
 
     /// Resolve without the builder (map lookups only; hoisted produces read
@@ -808,7 +827,9 @@ impl<'a> TaskEmitter<'a> {
                 if !included.contains(&oi) || is_header {
                     continue;
                 }
-                let orig = inst.result.expect("phi has a result");
+                let orig = inst
+                    .result
+                    .ok_or_else(|| TransformError::Internal("phi without a result".to_string()))?;
                 let ty = self.func.value_ty(orig);
                 let pv = b.phi(ty, inst.name.as_deref().unwrap_or("phi"));
                 state.map.insert(orig, pv);
@@ -819,14 +840,14 @@ impl<'a> TaskEmitter<'a> {
             // at the top of the def block.
             for orig in phi_defs {
                 let newv = state.map[&orig];
-                self.emit_produces(b, orig, newv, it, wid);
+                self.emit_produces(b, orig, newv, it, wid)?;
             }
             if let Some(vs) = cross_by_block.get(&ob) {
                 for &v in vs {
                     self.emit_consume(b, state, stage, v, it, wid);
                 }
             }
-            self.emit_top_produces(b, state, ob, it, wid);
+            self.emit_top_produces(b, state, ob, it, wid)?;
             // 3. Remaining instructions.
             for &oi in &self.func.block(ob).insts {
                 let inst = self.func.inst(oi);
@@ -862,7 +883,7 @@ impl<'a> TaskEmitter<'a> {
                         let (_, res) = b.push_raw(op, inst.name.clone());
                         if let (Some(orig), Some(newv)) = (inst.result, res) {
                             state.map.insert(orig, newv);
-                            self.emit_produces(b, orig, newv, it, wid);
+                            self.emit_produces(b, orig, newv, it, wid)?;
                         }
                     }
                 }
@@ -905,8 +926,9 @@ impl<'a> TaskEmitter<'a> {
                     b.cond_br(c, tt, ft);
                 } else {
                     // Collapse to the acyclic immediate post-dominator.
-                    let ip = self.acyclic_ipdom[ob.index()]
-                        .expect("loop block has an acyclic ipdom");
+                    let ip = self.acyclic_ipdom[ob.index()].ok_or_else(|| {
+                        TransformError::Internal(format!("loop block {ob} has no acyclic ipdom"))
+                    })?;
                     let t = if ip >= self.func.blocks.len() {
                         task_exit
                     } else {
@@ -1004,7 +1026,9 @@ impl<'a> TaskEmitter<'a> {
             if !needs.included.contains(&oi) {
                 continue;
             }
-            let orig = inst.result.expect("phi has a result");
+            let orig = inst
+                .result
+                .ok_or_else(|| TransformError::Internal("phi without a result".to_string()))?;
             let pv = b.phi(self.func.value_ty(orig), inst.name.as_deref().unwrap_or("phi"));
             state.map.insert(orig, pv);
             state.pending_phis.push((pv, oi));
@@ -1014,7 +1038,7 @@ impl<'a> TaskEmitter<'a> {
         let it_next = b.binary(BinOp::Add, it, one);
         for orig in header_phi_defs {
             let newv = state.map[&orig];
-            self.emit_produces(&mut b, orig, newv, it, None);
+            self.emit_produces(&mut b, orig, newv, it, None)?;
         }
 
         // Clone the body. `clone_body` will skip re-creating the header
@@ -1095,7 +1119,9 @@ impl<'a> TaskEmitter<'a> {
                 if !matches!(inst.op, Op::Phi { .. }) {
                     break;
                 }
-                let orig = inst.result.expect("phi has a result");
+                let orig = inst
+                    .result
+                    .ok_or_else(|| TransformError::Internal("phi without a result".to_string()))?;
                 if !included.contains(&oi) || state.map.contains_key(&orig) {
                     continue;
                 }
@@ -1106,14 +1132,14 @@ impl<'a> TaskEmitter<'a> {
             }
             for orig in phi_defs {
                 let newv = state.map[&orig];
-                self.emit_produces(b, orig, newv, it, wid);
+                self.emit_produces(b, orig, newv, it, wid)?;
             }
             if let Some(vs) = cross_by_block.get(&ob) {
                 for &v in vs {
                     self.emit_consume(b, state, stage, v, it, wid);
                 }
             }
-            self.emit_top_produces(b, state, ob, it, wid);
+            self.emit_top_produces(b, state, ob, it, wid)?;
             for &oi in &self.func.block(ob).insts {
                 let inst = self.func.inst(oi);
                 match &inst.op {
@@ -1140,7 +1166,7 @@ impl<'a> TaskEmitter<'a> {
                         let (_, res) = b.push_raw(op, inst.name.clone());
                         if let (Some(orig), Some(newv)) = (inst.result, res) {
                             state.map.insert(orig, newv);
-                            self.emit_produces(b, orig, newv, it, wid);
+                            self.emit_produces(b, orig, newv, it, wid)?;
                         }
                     }
                 }
@@ -1167,7 +1193,8 @@ impl<'a> TaskEmitter<'a> {
         // the duplicated sections' loop-carried registers).
         b.switch_to(dispatch);
         let it = b.phi(Ty::I32, "it");
-        let mut header_phi_map: Vec<(InstId, ValueId)> = Vec::new();
+        // (original phi inst, original result, dispatch-block clone).
+        let mut header_phi_map: Vec<(InstId, ValueId, ValueId)> = Vec::new();
         for &oi in &self.func.block(self.target.header).insts {
             let inst = self.func.inst(oi);
             if !matches!(inst.op, Op::Phi { .. }) {
@@ -1176,9 +1203,11 @@ impl<'a> TaskEmitter<'a> {
             if !needs.included.contains(&oi) {
                 continue;
             }
-            let ty = self.func.value_ty(inst.result.expect("phi has a result"));
-            let pv = b.phi(ty, inst.name.as_deref().unwrap_or("phi"));
-            header_phi_map.push((oi, pv));
+            let orig = inst
+                .result
+                .ok_or_else(|| TransformError::Internal("phi without a result".to_string()))?;
+            let pv = b.phi(self.func.value_ty(orig), inst.name.as_deref().unwrap_or("phi"));
+            header_phi_map.push((oi, orig, pv));
         }
         let one = b.const_i32(1);
         let it_next = b.binary(BinOp::Add, it, one);
@@ -1187,13 +1216,10 @@ impl<'a> TaskEmitter<'a> {
 
         // Clone both bodies.
         let mk_state = || {
-            let mut s = BodyState {
-                map: HashMap::new(),
-                blocks: HashMap::new(),
-                pending_phis: Vec::new(),
-            };
-            for (oi, pv) in &header_phi_map {
-                s.map.insert(self.func.inst(*oi).result.unwrap(), *pv);
+            let mut s =
+                BodyState { map: HashMap::new(), blocks: HashMap::new(), pending_phis: Vec::new() };
+            for &(_, orig, pv) in &header_phi_map {
+                s.map.insert(orig, pv);
             }
             s
         };
@@ -1241,8 +1267,10 @@ impl<'a> TaskEmitter<'a> {
             b.add_phi_incoming(it, s1.blocks[&latch], it_next);
             b.add_phi_incoming(it, s2.blocks[&latch], it_next);
         }
-        for (oi, pv) in &header_phi_map {
-            let Op::Phi { incomings, .. } = &self.func.inst(*oi).op else { unreachable!() };
+        for (oi, _, pv) in &header_phi_map {
+            let Op::Phi { incomings, .. } = &self.func.inst(*oi).op else {
+                return Err(TransformError::Internal("dispatch phi source is not a phi".into()));
+            };
             for (ob, ov) in incomings {
                 if self.target.contains(*ob) {
                     let v1 = self.resolve_filled(&mut b, &s1, *ov)?;
@@ -1289,12 +1317,8 @@ fn rewrite_parent(
     // Unique preheader: the single predecessor of the header outside the
     // loop.
     let cfg = Cfg::new(func);
-    let mut preheaders: Vec<BlockId> = cfg
-        .preds(target.header)
-        .iter()
-        .copied()
-        .filter(|p| !target.contains(*p))
-        .collect();
+    let mut preheaders: Vec<BlockId> =
+        cfg.preds(target.header).iter().copied().filter(|p| !target.contains(*p)).collect();
     preheaders.dedup();
     if preheaders.len() != 1 {
         return Err(TransformError::MultiplePreheaders);
@@ -1315,8 +1339,7 @@ fn rewrite_parent(
     }
     let exit_target = exit_targets[0];
 
-    let param_refs: Vec<(&str, Ty)> =
-        func.params.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+    let param_refs: Vec<(&str, Ty)> = func.params.iter().map(|(n, t)| (n.as_str(), *t)).collect();
     let mut b = FunctionBuilder::new(&func.name, &param_refs, func.ret_ty);
     let mut block_map: HashMap<BlockId, BlockId> = HashMap::new();
     block_map.insert(BlockId(0), b.entry_block());
@@ -1354,9 +1377,11 @@ fn rewrite_parent(
             let inst = func.inst(oi);
             match &inst.op {
                 Op::Phi { .. } => {
-                    let ty = func.value_ty(inst.result.unwrap());
-                    let pv = b.phi(ty, inst.name.as_deref().unwrap_or("phi"));
-                    map.insert(inst.result.unwrap(), pv);
+                    let orig = inst.result.ok_or_else(|| {
+                        TransformError::Internal("phi without a result".to_string())
+                    })?;
+                    let pv = b.phi(func.value_ty(orig), inst.name.as_deref().unwrap_or("phi"));
+                    map.insert(orig, pv);
                     pending_phis.push((pv, oi));
                 }
                 Op::Br { target: t } if *t == target.header => {
@@ -1619,8 +1644,7 @@ mod tests {
         let pdg = build_pdg(&f, &cfg, target, &pt, &mm);
         let cond = Condensation::compute(&pdg);
         let classes = classify_sccs(&f, &pdg, &cond);
-        let plan =
-            partition_loop(&f, &pdg, &cond, &classes, PartitionConfig::default()).unwrap();
+        let plan = partition_loop(&f, &pdg, &cond, &classes, PartitionConfig::default()).unwrap();
         let err = transform_loop(
             &f,
             &cfg,
@@ -1663,7 +1687,8 @@ mod hoisting_tests {
         let nodes = mm.add_region("nodes", 16, true, true);
         mm.bind_param(0, nodes);
         mm.field_pointee(nodes, 12, nodes);
-        let mut b = FunctionBuilder::new("nest", &[("head", Ty::Ptr), ("m", Ty::I32)], Some(Ty::F32));
+        let mut b =
+            FunctionBuilder::new("nest", &[("head", Ty::Ptr), ("m", Ty::I32)], Some(Ty::F32));
         let head = b.param(0);
         let m = b.param(1);
         let header = b.append_block("header");

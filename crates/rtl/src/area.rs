@@ -159,10 +159,7 @@ pub fn estimate_area(model: &AreaModel, func: &Function, fsm: &Fsm) -> AreaRepor
         }
     }
     // One unit per kind (the scheduler guarantees no same-kind overlap).
-    let units: u32 = kinds
-        .keys()
-        .map(|k| model.unit_cost.get(k).copied().unwrap_or(32))
-        .sum();
+    let units: u32 = kinds.keys().map(|k| model.unit_cost.get(k).copied().unwrap_or(32)).sum();
     let registers = fsm.register_count(func) as u32;
     AreaReport {
         units,

@@ -97,11 +97,7 @@ impl Fsm {
     /// duration.
     #[must_use]
     pub fn block_min_cycles(&self, block: BlockId) -> u32 {
-        self.states
-            .iter()
-            .filter(|s| s.block == block)
-            .map(|s| s.min_cycles)
-            .sum()
+        self.states.iter().filter(|s| s.block == block).map(|s| s.min_cycles).sum()
     }
 
     /// Count of registers implied by the schedule: values used in a later
@@ -120,8 +116,7 @@ impl Fsm {
             // Used later than its own state (or in another block)?
             let crosses = func.insts.iter().enumerate().any(|(uidx, u)| {
                 u.op.operands().contains(&result)
-                    && self.state_of[uidx]
-                        .is_some_and(|us| us != def_state)
+                    && self.state_of[uidx].is_some_and(|us| us != def_state)
             });
             if crosses {
                 regs += 1;
@@ -198,12 +193,8 @@ mod tests {
         let f = loop_fn();
         let fsm = schedule_function(&f);
         let body = cgpa_ir::BlockId(2);
-        let by_hand: u32 = fsm
-            .states
-            .iter()
-            .filter(|s| s.block == body)
-            .map(|s| s.min_cycles)
-            .sum();
+        let by_hand: u32 =
+            fsm.states.iter().filter(|s| s.block == body).map(|s| s.min_cycles).sum();
         assert_eq!(fsm.block_min_cycles(body), by_hand);
         // Body contains a load (>=1), fmul (4 for f32), store: at least 7.
         assert!(by_hand >= 7, "body min cycles {by_hand}");

@@ -27,5 +27,5 @@ pub mod verilog;
 pub use area::{estimate_area, AreaModel, AreaReport};
 pub use fsm::{Fsm, State, StateId};
 pub use power::{PowerModel, PowerReport};
-pub use schedule::{schedule_function, verify_schedule, ScheduleError};
+pub use schedule::{schedule_function, try_schedule_function, verify_schedule, ScheduleError};
 pub use timing::{op_timing, OpTiming};

@@ -83,11 +83,7 @@ pub fn evaluate(model: &PowerModel, trace: &ActivityTrace) -> PowerReport {
     if trace.cycles == 0 {
         return PowerReport::default();
     }
-    let total_alut: f64 = trace
-        .workers
-        .iter()
-        .map(|(a, _)| f64::from(a.total()))
-        .sum::<f64>()
+    let total_alut: f64 = trace.workers.iter().map(|(a, _)| f64::from(a.total())).sum::<f64>()
         + f64::from(trace.fifo_area.total());
     let static_mw = model.base_mw
         + total_alut * model.static_mw_per_alut
@@ -97,8 +93,7 @@ pub fn evaluate(model: &PowerModel, trace: &ActivityTrace) -> PowerReport {
         .iter()
         .map(|(a, busy)| {
             let activity = *busy as f64 / trace.cycles as f64;
-            let toggle = model.idle_toggle_fraction
-                + (1.0 - model.idle_toggle_fraction) * activity;
+            let toggle = model.idle_toggle_fraction + (1.0 - model.idle_toggle_fraction) * activity;
             f64::from(a.total()) * model.dynamic_mw_per_alut * toggle
         })
         .sum();

@@ -156,8 +156,7 @@ pub fn schedule_function(func: &Function) -> Fsm {
                 }
             }
 
-            let is_fork_join =
-                matches!(inst.op, Op::ParallelFork { .. } | Op::ParallelJoin { .. });
+            let is_fork_join = matches!(inst.op, Op::ParallelFork { .. } | Op::ParallelJoin { .. });
             let is_queue = inst.op.is_queue_op();
             let cur_has_mem = states[cur].ops.iter().any(|&i| func.inst(i).op.is_memory());
             let cur_has_queue = states[cur].ops.iter().any(|&i| func.inst(i).op.is_queue_op());
@@ -167,13 +166,15 @@ pub fn schedule_function(func: &Function) -> Fsm {
                         && queue_id_of(&inst.op).is_some()
                 });
             let cur_has_port = cur_has_mem || cur_has_queue;
-            let cur_has_fork = states[cur]
-                .ops
-                .iter()
-                .any(|&i| matches!(func.inst(i).op, Op::ParallelFork { .. } | Op::ParallelJoin { .. }));
+            let cur_has_fork = states[cur].ops.iter().any(|&i| {
+                matches!(func.inst(i).op, Op::ParallelFork { .. } | Op::ParallelJoin { .. })
+            });
             let cur_kind_conflict = !t.chainable
                 && !t.port_op
-                && states[cur].ops.iter().any(|&i| unit_kind(&func.inst(i).op) == unit_kind(&inst.op) && unit_kind(&inst.op).is_some());
+                && states[cur].ops.iter().any(|&i| {
+                    unit_kind(&func.inst(i).op) == unit_kind(&inst.op)
+                        && unit_kind(&inst.op).is_some()
+                });
 
             let place_state = if is_queue {
                 // Queue ops on *different* queues are independent FIFO
@@ -215,12 +216,9 @@ pub fn schedule_function(func: &Function) -> Fsm {
             } else {
                 // Multi-cycle: registered inputs; new state if an operand is
                 // produced in the current state or a same-kind unit is busy.
-                let operand_in_cur = inst
-                    .op
-                    .operands()
-                    .iter()
-                    .any(|v| matches!(avail.get(v), Some(Avail::InState { state, .. }) if *state == cur))
-                    || from_current_reg;
+                let operand_in_cur = inst.op.operands().iter().any(
+                    |v| matches!(avail.get(v), Some(Avail::InState { state, .. }) if *state == cur),
+                ) || from_current_reg;
                 if operand_in_cur || min_state > cur || cur_kind_conflict || cur_has_port {
                     states.push(State { block: b, ops: Vec::new(), min_cycles: 1 });
                     states.len() - 1
@@ -266,6 +264,21 @@ pub fn schedule_function(func: &Function) -> Fsm {
     }
 
     Fsm { states, block_entry, state_of }
+}
+
+/// Schedule `func` and verify the result in one step.
+///
+/// This is the entry point compile flows use: a schedule that violates the
+/// paper's constraints surfaces as a typed [`ScheduleError`] the caller can
+/// recover from (e.g. by degrading to a simpler pipeline shape) instead of
+/// tripping an assertion downstream in simulation or RTL emission.
+///
+/// # Errors
+/// The first [`ScheduleError`] found by [`verify_schedule`].
+pub fn try_schedule_function(func: &Function) -> Result<Fsm, ScheduleError> {
+    let fsm = schedule_function(func);
+    verify_schedule(func, &fsm)?;
+    Ok(fsm)
 }
 
 /// The queue a queue-op targets.
@@ -356,9 +369,7 @@ pub fn verify_schedule(func: &Function, fsm: &Fsm) -> Result<(), ScheduleError> 
         for &i in &state.ops {
             if matches!(func.inst(i).op, Op::StoreLiveout { .. }) {
                 let last = fsm.block_last(state.block);
-                let term_state = func
-                    .terminator(state.block)
-                    .and_then(|t| fsm.state_of[t.index()]);
+                let term_state = func.terminator(state.block).and_then(|t| fsm.state_of[t.index()]);
                 if term_state != Some(sid) || last != sid {
                     return Err(ScheduleError::LiveoutNotWithBranch(i));
                 }

@@ -108,16 +108,21 @@ mod tests {
     fn memory_and_queue_ops_are_port_ops() {
         assert!(op_timing(&Op::Load { addr: v(0), ty: Ty::I32 }, Some(Ty::I32)).port_op);
         assert!(op_timing(&Op::Store { addr: v(0), value: v(1) }, None).port_op);
-        assert!(op_timing(
-            &Op::Consume { queue: cgpa_ir::QueueId(0), channel_sel: v(0), ty: Ty::I32 },
-            Some(Ty::I32)
-        )
-        .port_op);
+        assert!(
+            op_timing(
+                &Op::Consume { queue: cgpa_ir::QueueId(0), channel_sel: v(0), ty: Ty::I32 },
+                Some(Ty::I32)
+            )
+            .port_op
+        );
     }
 
     #[test]
     fn control_is_free() {
         assert_eq!(op_timing(&Op::Br { target: cgpa_ir::BlockId(0) }, None).latency, 0);
-        assert_eq!(op_timing(&Op::Phi { ty: Ty::I32, incomings: vec![] }, Some(Ty::I32)).latency, 0);
+        assert_eq!(
+            op_timing(&Op::Phi { ty: Ty::I32, incomings: vec![] }, Some(Ty::I32)).latency,
+            0
+        );
     }
 }

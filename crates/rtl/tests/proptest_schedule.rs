@@ -30,11 +30,8 @@ fn step() -> impl Strategy<Value = Step> {
 }
 
 fn build(steps: &[Step]) -> Function {
-    let mut b = FunctionBuilder::new(
-        "sched",
-        &[("p", Ty::Ptr), ("w", Ty::I32), ("n", Ty::I32)],
-        None,
-    );
+    let mut b =
+        FunctionBuilder::new("sched", &[("p", Ty::Ptr), ("w", Ty::I32), ("n", Ty::I32)], None);
     let p = b.param(0);
     let w = b.param(1);
     let n = b.param(2);

@@ -118,7 +118,8 @@ impl CacheSystem {
         let done = start + service;
         // The bank is busy for the occupancy window (shorter than the miss
         // latency: fills stream in the background).
-        let occupancy = if hit { u64::from(self.cfg.hit_latency) } else { u64::from(self.cfg.miss_occupancy) };
+        let occupancy =
+            if hit { u64::from(self.cfg.hit_latency) } else { u64::from(self.cfg.miss_occupancy) };
         self.bank_free_at[bank] = start + occupancy;
         done
     }

@@ -51,11 +51,8 @@ pub fn render_diffs(diffs: &[WordDiff], total_hint: Option<usize>) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{} differing word(s):", total_hint.unwrap_or(diffs.len()));
     for d in diffs {
-        let _ = writeln!(
-            out,
-            "  [{:#010x}] left {:#010x} vs right {:#010x}",
-            d.addr, d.left, d.right
-        );
+        let _ =
+            writeln!(out, "  [{:#010x}] left {:#010x} vs right {:#010x}", d.addr, d.left, d.right);
     }
     out
 }

@@ -200,7 +200,10 @@ mod tests {
         assert_eq!(eval_icmp(IntPredicate::Slt, Value::I32(-1), Value::I32(0)), Value::I1(true));
         assert_eq!(eval_icmp(IntPredicate::Ult, Value::I32(-1), Value::I32(0)), Value::I1(false));
         assert_eq!(eval_icmp(IntPredicate::Eq, Value::Ptr(0), Value::Ptr(0)), Value::I1(true));
-        assert_eq!(eval_fcmp(FloatPredicate::Olt, Value::F64(1.0), Value::F64(2.0)), Value::I1(true));
+        assert_eq!(
+            eval_fcmp(FloatPredicate::Olt, Value::F64(1.0), Value::F64(2.0)),
+            Value::I1(true)
+        );
         assert_eq!(
             eval_fcmp(FloatPredicate::Oeq, Value::F64(f64::NAN), Value::F64(f64::NAN)),
             Value::I1(false)

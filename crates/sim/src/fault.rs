@@ -1,0 +1,444 @@
+//! Deterministic fault injection for the cycle-level accelerator model.
+//!
+//! The paper's robustness claim (§3.4) is that coarse-grained pipelines
+//! stay *correct* under irregular timing: every datum crosses a latency-
+//! insensitive FIFO handshake, so delays can only slow a run down, never
+//! corrupt it. This module turns that claim into a testable invariant.
+//! A [`FaultPlan`] — derived deterministically from a seed — injects
+//! hardware faults into [`HwSystem::run`]:
+//!
+//! - **timing faults** (worker stalls, cache-port contention spikes,
+//!   memory-latency bursts) must be *tolerated*: the run completes and
+//!   verifies bit-exactly against the functional reference;
+//! - **data faults** (dropped / duplicated FIFO beats, single-bit payload
+//!   flips) must be *detected*: the FIFO protection layer (per-beat parity
+//!   and sequence tags, see [`crate::fifo`]) or the hang detector surfaces
+//!   a typed [`HwError::Fault`] carrying a diagnostic dump — never a panic
+//!   and never a silent mismatch.
+//!
+//! [`HwSystem::run`]: crate::hw::HwSystem::run
+//! [`HwError::Fault`]: crate::hw::HwError::Fault
+
+use std::fmt;
+
+/// The fault classes the injection matrix sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// Freeze one worker's FSM for a window of cycles.
+    StallWorker,
+    /// Silently lose the most recent FIFO beat of one push.
+    DropBeat,
+    /// Latch the most recent FIFO beat twice.
+    DuplicateBeat,
+    /// Flip one payload bit of a FIFO beat (parity bit left stale).
+    BitFlip,
+    /// Every cache access in a window pays extra crossbar latency.
+    PortContention,
+    /// Every cache access in a window pays extra DRAM latency.
+    MemLatencyBurst,
+}
+
+impl FaultClass {
+    /// All classes, in matrix order.
+    pub const ALL: [FaultClass; 6] = [
+        FaultClass::StallWorker,
+        FaultClass::DropBeat,
+        FaultClass::DuplicateBeat,
+        FaultClass::BitFlip,
+        FaultClass::PortContention,
+        FaultClass::MemLatencyBurst,
+    ];
+
+    /// True when the class only perturbs timing, so a run with it injected
+    /// must still verify bit-exactly.
+    #[must_use]
+    pub fn is_timing_only(self) -> bool {
+        matches!(
+            self,
+            FaultClass::StallWorker | FaultClass::PortContention | FaultClass::MemLatencyBurst
+        )
+    }
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultClass::StallWorker => "stall-worker",
+            FaultClass::DropBeat => "drop-beat",
+            FaultClass::DuplicateBeat => "duplicate-beat",
+            FaultClass::BitFlip => "bit-flip",
+            FaultClass::PortContention => "port-contention",
+            FaultClass::MemLatencyBurst => "mem-latency-burst",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One concrete fault. Worker and queue indices are raw draws resolved
+/// modulo the system's actual worker/queue count at injection time, so one
+/// plan is meaningful for any pipeline shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Freeze worker (`worker % n_workers`) for `cycles` starting at
+    /// `at_cycle`.
+    StallWorker {
+        /// Raw worker draw.
+        worker: u64,
+        /// First frozen cycle.
+        at_cycle: u64,
+        /// Freeze duration.
+        cycles: u32,
+    },
+    /// Drop the beat stored by element-push number `at_push` on queue
+    /// (`queue % n_queues`).
+    DropBeat {
+        /// Raw queue draw.
+        queue: u64,
+        /// Element-push ordinal (0-based) the fault strikes.
+        at_push: u64,
+    },
+    /// Duplicate the beat stored by element-push number `at_push`.
+    DuplicateBeat {
+        /// Raw queue draw.
+        queue: u64,
+        /// Element-push ordinal the fault strikes.
+        at_push: u64,
+    },
+    /// Flip payload bit `bit` of the beat stored by push `at_push`.
+    BitFlip {
+        /// Raw queue draw.
+        queue: u64,
+        /// Element-push ordinal the fault strikes.
+        at_push: u64,
+        /// Payload bit index (0..32).
+        bit: u8,
+    },
+    /// Add `extra_latency` to every cache access in
+    /// `[at_cycle, at_cycle + cycles)`.
+    PortContention {
+        /// Window start.
+        at_cycle: u64,
+        /// Window length.
+        cycles: u32,
+        /// Added cycles per access.
+        extra_latency: u32,
+    },
+    /// Same shape as contention, modelling a DRAM refresh/thermal burst.
+    MemLatencyBurst {
+        /// Window start.
+        at_cycle: u64,
+        /// Window length.
+        cycles: u32,
+        /// Added cycles per access.
+        extra_latency: u32,
+    },
+}
+
+impl FaultKind {
+    /// The class this fault belongs to.
+    #[must_use]
+    pub fn class(&self) -> FaultClass {
+        match self {
+            FaultKind::StallWorker { .. } => FaultClass::StallWorker,
+            FaultKind::DropBeat { .. } => FaultClass::DropBeat,
+            FaultKind::DuplicateBeat { .. } => FaultClass::DuplicateBeat,
+            FaultKind::BitFlip { .. } => FaultClass::BitFlip,
+            FaultKind::PortContention { .. } => FaultClass::PortContention,
+            FaultKind::MemLatencyBurst { .. } => FaultClass::MemLatencyBurst,
+        }
+    }
+}
+
+/// What the injection layer does to the most recent push (resolved from a
+/// [`FaultKind`] when its trigger condition matches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// Lose the beat.
+    Drop,
+    /// Store the beat twice.
+    Duplicate,
+    /// Flip one payload bit.
+    Flip {
+        /// Bit index (0..32).
+        bit: u8,
+    },
+}
+
+/// How an injected data fault was caught (carried by
+/// [`HwError::Fault`](crate::hw::HwError::Fault)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultDetection {
+    /// A popped beat's parity bit disagreed with its payload.
+    Parity {
+        /// Queue index.
+        queue: u32,
+        /// Channel index.
+        channel: u32,
+    },
+    /// A popped beat's sequence tag skipped ahead (a beat was lost).
+    SequenceGap {
+        /// Queue index.
+        queue: u32,
+        /// Channel index.
+        channel: u32,
+        /// Tag the consumer expected.
+        expected: u32,
+        /// Tag it observed.
+        got: u32,
+    },
+    /// A popped beat's sequence tag repeated (a beat was duplicated).
+    SequenceRepeat {
+        /// Queue index.
+        queue: u32,
+        /// Channel index.
+        channel: u32,
+        /// The repeated tag.
+        got: u32,
+    },
+    /// The pipeline stopped making progress after a fault fired.
+    Hang,
+    /// All workers finished but a protected queue still held beats.
+    UndrainedQueue {
+        /// Queue index.
+        queue: u32,
+        /// Leftover beats across channels.
+        beats: u32,
+    },
+}
+
+impl fmt::Display for FaultDetection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultDetection::Parity { queue, channel } => {
+                write!(f, "parity error on q{queue} channel {channel}")
+            }
+            FaultDetection::SequenceGap { queue, channel, expected, got } => write!(
+                f,
+                "sequence gap on q{queue} channel {channel}: expected beat #{expected}, got #{got}"
+            ),
+            FaultDetection::SequenceRepeat { queue, channel, got } => {
+                write!(f, "sequence repeat on q{queue} channel {channel}: beat #{got} seen twice")
+            }
+            FaultDetection::Hang => f.write_str("pipeline hung after fault injection"),
+            FaultDetection::UndrainedQueue { queue, beats } => {
+                write!(f, "q{queue} left {beats} undrained beat(s) at join")
+            }
+        }
+    }
+}
+
+/// SplitMix64 — the same deterministic stream the vendored test crates use.
+#[derive(Debug, Clone)]
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A set of faults to inject into one run, with per-fault fired tracking.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    faults: Vec<(FaultKind, bool)>,
+}
+
+impl FaultPlan {
+    /// Plan injecting exactly `faults`.
+    #[must_use]
+    pub fn new(faults: Vec<FaultKind>) -> Self {
+        FaultPlan { faults: faults.into_iter().map(|f| (f, false)).collect() }
+    }
+
+    /// Derive one fault of `class` deterministically from `seed`. The same
+    /// `(class, seed)` pair always yields the same fault.
+    #[must_use]
+    pub fn single(class: FaultClass, seed: u64) -> Self {
+        let mut s = SplitMix(seed ^ (class as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+        let kind = match class {
+            FaultClass::StallWorker => FaultKind::StallWorker {
+                worker: s.next(),
+                at_cycle: 20 + s.next() % 3_000,
+                cycles: 1 + (s.next() % 8_000) as u32,
+            },
+            FaultClass::DropBeat => FaultKind::DropBeat { queue: s.next(), at_push: s.next() % 24 },
+            FaultClass::DuplicateBeat => {
+                FaultKind::DuplicateBeat { queue: s.next(), at_push: s.next() % 24 }
+            }
+            FaultClass::BitFlip => FaultKind::BitFlip {
+                queue: s.next(),
+                at_push: s.next() % 24,
+                bit: (s.next() % 32) as u8,
+            },
+            FaultClass::PortContention => FaultKind::PortContention {
+                at_cycle: s.next() % 2_000,
+                cycles: 50 + (s.next() % 500) as u32,
+                extra_latency: 1 + (s.next() % 8) as u32,
+            },
+            FaultClass::MemLatencyBurst => FaultKind::MemLatencyBurst {
+                at_cycle: s.next() % 2_000,
+                cycles: 100 + (s.next() % 1_000) as u32,
+                extra_latency: 20 + (s.next() % 80) as u32,
+            },
+        };
+        FaultPlan::new(vec![kind])
+    }
+
+    /// Derive one fault per class in `classes` from `seed`.
+    #[must_use]
+    pub fn seeded(classes: &[FaultClass], seed: u64) -> Self {
+        let faults = classes.iter().flat_map(|&c| FaultPlan::single(c, seed).faults).collect();
+        FaultPlan { faults }
+    }
+
+    /// The planned faults.
+    #[must_use]
+    pub fn faults(&self) -> Vec<FaultKind> {
+        self.faults.iter().map(|(f, _)| *f).collect()
+    }
+
+    /// Faults that actually struck during the run.
+    #[must_use]
+    pub fn fired(&self) -> Vec<FaultKind> {
+        self.faults.iter().filter(|(_, hit)| *hit).map(|(f, _)| *f).collect()
+    }
+
+    /// True when any fault struck.
+    #[must_use]
+    pub fn any_fired(&self) -> bool {
+        self.faults.iter().any(|(_, hit)| *hit)
+    }
+
+    /// True when a data-corrupting fault (drop/duplicate/flip) struck.
+    #[must_use]
+    pub fn corruption_fired(&self) -> bool {
+        self.faults.iter().any(|(f, hit)| *hit && !f.class().is_timing_only())
+    }
+
+    /// Should worker `w` (of `n_workers`) freeze this cycle?
+    pub fn stall_active(&mut self, w: usize, n_workers: usize, cycle: u64) -> bool {
+        let mut hit = false;
+        for (f, fired) in &mut self.faults {
+            if let FaultKind::StallWorker { worker, at_cycle, cycles } = f {
+                if n_workers > 0
+                    && (*worker % n_workers as u64) as usize == w
+                    && cycle >= *at_cycle
+                    && cycle < *at_cycle + u64::from(*cycles)
+                {
+                    *fired = true;
+                    hit = true;
+                }
+            }
+        }
+        hit
+    }
+
+    /// Extra latency a cache access issued at `cycle` pays.
+    pub fn mem_penalty(&mut self, cycle: u64) -> u64 {
+        let mut extra = 0;
+        for (f, fired) in &mut self.faults {
+            let (at, len, lat) = match f {
+                FaultKind::PortContention { at_cycle, cycles, extra_latency }
+                | FaultKind::MemLatencyBurst { at_cycle, cycles, extra_latency } => {
+                    (*at_cycle, *cycles, *extra_latency)
+                }
+                _ => continue,
+            };
+            if cycle >= at && cycle < at + u64::from(len) {
+                *fired = true;
+                extra += u64::from(lat);
+            }
+        }
+        extra
+    }
+
+    /// Corruption to apply to element-push number `elem_index` on queue
+    /// `queue` (of `n_queues`), if any fault matches.
+    pub fn queue_corruption(
+        &mut self,
+        queue: usize,
+        n_queues: usize,
+        elem_index: u64,
+    ) -> Option<Corruption> {
+        if n_queues == 0 {
+            return None;
+        }
+        for (f, fired) in &mut self.faults {
+            let (q, at, c) = match f {
+                FaultKind::DropBeat { queue, at_push } => (*queue, *at_push, Corruption::Drop),
+                FaultKind::DuplicateBeat { queue, at_push } => {
+                    (*queue, *at_push, Corruption::Duplicate)
+                }
+                FaultKind::BitFlip { queue, at_push, bit } => {
+                    (*queue, *at_push, Corruption::Flip { bit: *bit })
+                }
+                _ => continue,
+            };
+            if (q % n_queues as u64) as usize == queue && at == elem_index {
+                *fired = true;
+                return Some(c);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_is_deterministic() {
+        for class in FaultClass::ALL {
+            let a = FaultPlan::single(class, 17).faults();
+            let b = FaultPlan::single(class, 17).faults();
+            assert_eq!(a, b);
+            assert_eq!(a[0].class(), class);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::single(FaultClass::BitFlip, 1).faults();
+        let b = FaultPlan::single(FaultClass::BitFlip, 2).faults();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn stall_resolves_modulo_and_tracks_firing() {
+        let mut p =
+            FaultPlan::new(vec![FaultKind::StallWorker { worker: 7, at_cycle: 10, cycles: 5 }]);
+        assert!(!p.any_fired());
+        assert!(!p.stall_active(0, 3, 10)); // 7 % 3 == 1, not worker 0
+        assert!(p.stall_active(1, 3, 10));
+        assert!(!p.stall_active(1, 3, 15)); // window closed
+        assert!(p.any_fired());
+        assert!(!p.corruption_fired());
+    }
+
+    #[test]
+    fn mem_penalty_windows_accumulate() {
+        let mut p = FaultPlan::new(vec![
+            FaultKind::PortContention { at_cycle: 100, cycles: 10, extra_latency: 2 },
+            FaultKind::MemLatencyBurst { at_cycle: 105, cycles: 10, extra_latency: 30 },
+        ]);
+        assert_eq!(p.mem_penalty(99), 0);
+        assert_eq!(p.mem_penalty(100), 2);
+        assert_eq!(p.mem_penalty(107), 32);
+        assert_eq!(p.mem_penalty(114), 30);
+        assert_eq!(p.mem_penalty(115), 0);
+    }
+
+    #[test]
+    fn queue_corruption_matches_push_ordinal() {
+        let mut p = FaultPlan::new(vec![FaultKind::BitFlip { queue: 5, at_push: 3, bit: 31 }]);
+        assert_eq!(p.queue_corruption(0, 2, 3), None); // 5 % 2 == 1
+        assert_eq!(p.queue_corruption(1, 2, 2), None); // wrong ordinal
+        assert_eq!(p.queue_corruption(1, 2, 3), Some(Corruption::Flip { bit: 31 }));
+        assert!(p.corruption_fired());
+    }
+}

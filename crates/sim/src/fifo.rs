@@ -4,10 +4,32 @@
 //! FIFO per consumer channel. Values wider than 32 bits occupy multiple
 //! beats (an `f64` takes two slots and two transfer cycles), matching the
 //! paper's fixed 32-bit FIFO width.
+//!
+//! Every beat is protected the way a production interconnect would protect
+//! it: an odd-parity bit over the 32-bit payload and a per-channel
+//! monotonically increasing sequence tag. [`QueueState::pop_checked`]
+//! verifies both, so an injected single-bit flip, dropped beat, or
+//! duplicated beat (see [`crate::fault`]) is *detected* at the consumer
+//! instead of silently corrupting downstream state.
 
+use crate::fault::{Corruption, FaultDetection};
 use crate::value::Value;
 use cgpa_ir::{QueueInfo, Ty};
 use std::collections::VecDeque;
+
+/// One protected 32-bit FIFO slot.
+#[derive(Debug, Clone, Copy)]
+struct Beat {
+    data: u32,
+    /// Odd parity over `data` at push time.
+    parity: bool,
+    /// Per-channel push ordinal.
+    seq: u32,
+}
+
+fn parity_of(data: u32) -> bool {
+    data.count_ones() & 1 == 1
+}
 
 /// Runtime state of one queue set.
 ///
@@ -25,15 +47,24 @@ use std::collections::VecDeque;
 /// ```
 #[derive(Debug, Clone)]
 pub struct QueueState {
+    /// Queue name (diagnostics).
+    pub name: String,
     /// Element type.
     pub elem_ty: Ty,
     /// Depth per channel, in 32-bit beats.
     pub depth_beats: usize,
-    channels: Vec<VecDeque<u32>>,
+    channels: Vec<VecDeque<Beat>>,
+    /// Next sequence tag per channel (push side).
+    push_seq: Vec<u32>,
+    /// Expected sequence tag per channel (pop side).
+    pop_seq: Vec<u32>,
     /// Total beats pushed (for power accounting).
     pub beats_pushed: u64,
     /// Total beats popped.
     pub beats_popped: u64,
+    /// Total elements pushed across channels (fault-injection trigger
+    /// ordinal).
+    pub elems_pushed: u64,
     /// Peak occupancy in beats over all channels.
     pub peak_beats: usize,
 }
@@ -44,11 +75,15 @@ impl QueueState {
     #[must_use]
     pub fn new(info: &QueueInfo, depth_beats: usize) -> Self {
         QueueState {
+            name: info.name.clone(),
             elem_ty: info.elem_ty,
             depth_beats,
             channels: vec![VecDeque::new(); info.channels as usize],
+            push_seq: vec![0; info.channels as usize],
+            pop_seq: vec![0; info.channels as usize],
             beats_pushed: 0,
             beats_popped: 0,
+            elems_pushed: 0,
             peak_beats: 0,
         }
     }
@@ -92,9 +127,13 @@ impl QueueState {
         assert!(self.can_push(c), "push to full channel {c}");
         let bits = v.to_bits();
         for beat in 0..self.elem_beats() {
-            self.channels[c].push_back((bits >> (32 * beat)) as u32);
+            let data = (bits >> (32 * beat)) as u32;
+            let seq = self.push_seq[c];
+            self.push_seq[c] = seq.wrapping_add(1);
+            self.channels[c].push_back(Beat { data, parity: parity_of(data), seq });
         }
         self.beats_pushed += self.elem_beats() as u64;
+        self.elems_pushed += 1;
         let occ = self.channels[c].len();
         self.peak_beats = self.peak_beats.max(occ);
     }
@@ -108,28 +147,119 @@ impl QueueState {
         for c in 0..self.channels() {
             self.push(c, v);
         }
-        // `push` already counted beats per channel.
+        // `push` counted each channel as one element push.
     }
 
-    /// Pop one element from channel `c`.
+    /// Pop one element from channel `c`, verifying beat protection.
+    ///
+    /// # Errors
+    /// [`FaultDetection::Parity`] when a payload disagrees with its parity
+    /// bit, [`FaultDetection::SequenceGap`]/[`FaultDetection::SequenceRepeat`]
+    /// when the per-channel sequence tags show a lost or duplicated beat.
+    /// `queue` is only used to label the error.
     ///
     /// # Panics
-    /// Panics when the channel lacks a complete element.
-    pub fn pop(&mut self, c: usize) -> Value {
+    /// Panics when the channel lacks a complete element (callers check
+    /// [`can_pop`](QueueState::can_pop); the hardware stalls).
+    pub fn pop_checked(&mut self, queue: u32, c: usize) -> Result<Value, FaultDetection> {
         assert!(self.can_pop(c), "pop from empty channel {c}");
         let mut bits = 0u64;
         for beat in 0..self.elem_beats() {
-            let w = self.channels[c].pop_front().expect("beat available");
-            bits |= u64::from(w) << (32 * beat);
+            let b = self.channels[c].pop_front().expect("beat available");
+            let expected = self.pop_seq[c];
+            if b.seq != expected {
+                // One lost or repeated beat desynchronizes the tag stream
+                // permanently; resync so later diagnostics stay readable.
+                self.pop_seq[c] = b.seq.wrapping_add(1);
+                let channel = c as u32;
+                return Err(if b.seq.wrapping_sub(expected) < u32::MAX / 2 {
+                    FaultDetection::SequenceGap { queue, channel, expected, got: b.seq }
+                } else {
+                    FaultDetection::SequenceRepeat { queue, channel, got: b.seq }
+                });
+            }
+            self.pop_seq[c] = expected.wrapping_add(1);
+            if parity_of(b.data) != b.parity {
+                return Err(FaultDetection::Parity { queue, channel: c as u32 });
+            }
+            bits |= u64::from(b.data) << (32 * beat);
         }
         self.beats_popped += self.elem_beats() as u64;
-        Value::from_bits(self.elem_ty, bits)
+        Ok(Value::from_bits(self.elem_ty, bits))
+    }
+
+    /// Pop one element from channel `c` (unprotected convenience API).
+    ///
+    /// # Panics
+    /// Panics when the channel lacks a complete element, or when beat
+    /// protection trips (only possible under fault injection — fault-aware
+    /// callers use [`pop_checked`](QueueState::pop_checked)).
+    pub fn pop(&mut self, c: usize) -> Value {
+        match self.pop_checked(0, c) {
+            Ok(v) => v,
+            Err(e) => panic!("FIFO protection fault: {e}"),
+        }
+    }
+
+    /// Flip payload bit `bit` of the most recently pushed beat on channel
+    /// `c`, leaving its parity bit stale. Returns false if the channel is
+    /// empty.
+    pub fn corrupt_tail_bit(&mut self, c: usize, bit: u8) -> bool {
+        match self.channels[c].back_mut() {
+            Some(b) => {
+                b.data ^= 1u32 << (bit % 32);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drop the most recently pushed beat on channel `c` (the push-side
+    /// sequence counter keeps its advance, so the loss is a tag gap).
+    /// Returns false if the channel is empty.
+    pub fn drop_tail_beat(&mut self, c: usize) -> bool {
+        self.channels[c].pop_back().is_some()
+    }
+
+    /// Latch the most recently pushed beat on channel `c` a second time
+    /// (same payload, same sequence tag). May exceed `depth_beats` by one
+    /// beat — a latch-up, not a handshake. Returns false if the channel is
+    /// empty.
+    pub fn dup_tail_beat(&mut self, c: usize) -> bool {
+        match self.channels[c].back().copied() {
+            Some(b) => {
+                self.channels[c].push_back(b);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Apply an injected corruption to the most recent push on channel `c`.
+    pub fn apply_corruption(&mut self, c: usize, corruption: Corruption) {
+        match corruption {
+            Corruption::Drop => {
+                self.drop_tail_beat(c);
+            }
+            Corruption::Duplicate => {
+                self.dup_tail_beat(c);
+            }
+            Corruption::Flip { bit } => {
+                self.corrupt_tail_bit(c, bit);
+            }
+        }
     }
 
     /// Current occupancy (beats) of channel `c`.
     #[must_use]
     pub fn occupancy(&self, c: usize) -> usize {
         self.channels[c].len()
+    }
+
+    /// Total occupancy (beats) across channels.
+    #[must_use]
+    pub fn total_occupancy(&self) -> usize {
+        self.channels.iter().map(VecDeque::len).sum()
     }
 
     /// True when every channel is empty.
@@ -144,10 +274,7 @@ mod tests {
     use super::*;
 
     fn q(ty: Ty, channels: u32) -> QueueState {
-        QueueState::new(
-            &QueueInfo { name: "q".into(), elem_ty: ty, channels },
-            16,
-        )
+        QueueState::new(&QueueInfo { name: "q".into(), elem_ty: ty, channels }, 16)
     }
 
     #[test]
@@ -211,5 +338,116 @@ mod tests {
         qs.push(0, Value::I32(2));
         let _ = qs.pop(0);
         assert_eq!(qs.peak_beats, 2);
+    }
+
+    // --- boundary behaviour -------------------------------------------------
+
+    #[test]
+    fn push_at_exactly_full_occupancy_is_rejected() {
+        let mut qs = q(Ty::I32, 1);
+        for i in 0..16 {
+            qs.push(0, Value::I32(i));
+        }
+        assert_eq!(qs.occupancy(0), qs.depth_beats);
+        // At exactly depth_beats occupancy the handshake must deassert.
+        assert!(!qs.can_push(0));
+        assert!(!qs.can_push_all());
+        // One pop of a 1-beat element reopens exactly one slot.
+        let _ = qs.pop(0);
+        assert!(qs.can_push(0));
+        qs.push(0, Value::I32(99));
+        assert!(!qs.can_push(0));
+    }
+
+    #[test]
+    fn multibeat_f64_straddling_depth_limit_blocks_whole_element() {
+        let mut qs = q(Ty::F64, 1);
+        for i in 0..7 {
+            qs.push(0, Value::F64(f64::from(i)));
+        }
+        // 14 of 16 beats used: one more f64 fits exactly...
+        assert!(qs.can_push(0));
+        qs.push(0, Value::F64(7.0));
+        assert_eq!(qs.occupancy(0), 16);
+        // ...then a following f64 must NOT be able to land a partial beat.
+        assert!(!qs.can_push(0));
+        let _ = qs.pop(0);
+        // 14 beats used, 2 free: a whole f64 fits again.
+        assert!(qs.can_push(0));
+        // Values are still framed correctly after wrap-around at the limit.
+        qs.push(0, Value::F64(8.0));
+        for expect in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0] {
+            assert_eq!(qs.pop(0), Value::F64(expect));
+        }
+        assert!(qs.is_drained());
+    }
+
+    #[test]
+    fn backpressure_release_preserves_order() {
+        let mut qs = q(Ty::I32, 1);
+        for i in 0..16 {
+            qs.push(0, Value::I32(i));
+        }
+        assert!(!qs.can_push(0)); // producer stalls here
+                                  // Consumer drains three beats; producer resumes in push order.
+        assert_eq!(qs.pop(0), Value::I32(0));
+        assert_eq!(qs.pop(0), Value::I32(1));
+        assert_eq!(qs.pop(0), Value::I32(2));
+        for i in 16..19 {
+            assert!(qs.can_push(0));
+            qs.push(0, Value::I32(i));
+        }
+        assert!(!qs.can_push(0));
+        // Everything still comes out FIFO: 3..19 with no reorder across the
+        // stall/release boundary.
+        for i in 3..19 {
+            assert_eq!(qs.pop(0), Value::I32(i));
+        }
+        assert!(qs.is_drained());
+    }
+
+    // --- beat protection ----------------------------------------------------
+
+    #[test]
+    fn bit_flip_is_detected_by_parity() {
+        let mut qs = q(Ty::I32, 1);
+        qs.push(0, Value::I32(0x55));
+        qs.corrupt_tail_bit(0, 3);
+        assert!(matches!(
+            qs.pop_checked(9, 0),
+            Err(FaultDetection::Parity { queue: 9, channel: 0 })
+        ));
+    }
+
+    #[test]
+    fn dropped_beat_is_detected_as_sequence_gap() {
+        let mut qs = q(Ty::I32, 1);
+        qs.push(0, Value::I32(1));
+        qs.drop_tail_beat(0);
+        qs.push(0, Value::I32(2));
+        assert!(matches!(
+            qs.pop_checked(0, 0),
+            Err(FaultDetection::SequenceGap { expected: 0, got: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn duplicated_beat_is_detected_as_sequence_repeat() {
+        let mut qs = q(Ty::I32, 1);
+        qs.push(0, Value::I32(1));
+        qs.dup_tail_beat(0);
+        assert_eq!(qs.pop_checked(0, 0).unwrap(), Value::I32(1));
+        assert!(matches!(qs.pop_checked(0, 0), Err(FaultDetection::SequenceRepeat { got: 0, .. })));
+    }
+
+    #[test]
+    fn clean_stream_passes_protection() {
+        let mut qs = q(Ty::F64, 2);
+        for i in 0..4u32 {
+            qs.push((i % 2) as usize, Value::F64(f64::from(i)));
+        }
+        for i in 0..4u32 {
+            assert_eq!(qs.pop_checked(0, (i % 2) as usize).unwrap(), Value::F64(f64::from(i)));
+        }
     }
 }

@@ -13,17 +13,19 @@
 
 use crate::cache::{CacheConfig, CacheSystem};
 use crate::exec::{eval_binary, eval_cast, eval_fcmp, eval_gep, eval_icmp};
+use crate::fault::{FaultDetection, FaultPlan};
 use crate::fifo::QueueState;
 use crate::mem::SimMemory;
 use crate::stats::{SystemStats, WorkerStats};
 use crate::trace::{Trace, TraceEvent};
 use crate::value::Value;
-use cgpa_ir::{Function, Module, Op, ValueId};
+use cgpa_ir::{Function, InstId, Module, Op, ValueId};
 use cgpa_pipeline::{PipelineModule, StageKind};
 use cgpa_rtl::schedule::schedule_function;
 use cgpa_rtl::Fsm;
 use std::error::Error;
 use std::fmt;
+use std::fmt::Write as _;
 
 /// Simulator configuration.
 #[derive(Debug, Clone, Copy)]
@@ -38,11 +40,7 @@ pub struct HwConfig {
 
 impl Default for HwConfig {
     fn default() -> Self {
-        HwConfig {
-            fifo_depth_beats: 16,
-            cache: CacheConfig::default(),
-            fuel_cycles: 500_000_000,
-        }
+        HwConfig { fifo_depth_beats: 16, cache: CacheConfig::default(), fuel_cycles: 500_000_000 }
     }
 }
 
@@ -56,6 +54,25 @@ pub enum HwError {
     /// A worker executed an operation the hardware model does not support
     /// (host-side primitives inside a task).
     Unsupported(String),
+    /// An injected hardware fault was caught by the FIFO protection layer
+    /// or the hang detector. `detail` is a diagnostic dump of per-queue
+    /// occupancy and per-worker FSM state at detection time.
+    Fault {
+        /// Detection cycle.
+        cycle: u64,
+        /// What tripped.
+        kind: FaultDetection,
+        /// Per-queue occupancy and per-worker FSM state dump.
+        detail: String,
+    },
+    /// A structurally malformed instruction reached the datapath (e.g. a
+    /// value-producing op with no result register).
+    Malformed {
+        /// Worker that decoded the instruction.
+        worker: u32,
+        /// The offending operation.
+        inst: String,
+    },
 }
 
 impl fmt::Display for HwError {
@@ -66,6 +83,12 @@ impl fmt::Display for HwError {
                 write!(f, "pipeline deadlock at cycle {cycle}: {detail}")
             }
             HwError::Unsupported(s) => write!(f, "unsupported operation in hardware: {s}"),
+            HwError::Fault { cycle, kind, detail } => {
+                write!(f, "hardware fault detected at cycle {cycle}: {kind}\n{detail}")
+            }
+            HwError::Malformed { worker, inst } => {
+                write!(f, "malformed instruction on worker {worker}: {inst}")
+            }
         }
     }
 }
@@ -129,6 +152,7 @@ pub struct HwSystem<'m> {
     cfg: HwConfig,
     fifo_total_channels: u32,
     trace: Option<Trace>,
+    fault: Option<FaultPlan>,
 }
 
 impl<'m> HwSystem<'m> {
@@ -172,6 +196,7 @@ impl<'m> HwSystem<'m> {
             cfg,
             fifo_total_channels,
             trace: None,
+            fault: None,
         }
     }
 
@@ -190,6 +215,7 @@ impl<'m> HwSystem<'m> {
             cfg,
             fifo_total_channels: 0,
             trace: None,
+            fault: None,
         }
     }
 
@@ -203,6 +229,74 @@ impl<'m> HwSystem<'m> {
     /// The recorded trace, if tracing was enabled.
     pub fn take_trace(&mut self) -> Option<Trace> {
         self.trace.take()
+    }
+
+    /// Arm a fault-injection plan for the next [`HwSystem::run`]. Timing
+    /// faults (stalls, contention, latency bursts) slow the run down;
+    /// data faults (beat drop/duplicate/flip) trip the FIFO protection
+    /// layer and surface as [`HwError::Fault`].
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// The armed fault plan; its per-fault fired flags update as the run
+    /// executes.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// Diagnostic dump: per-worker FSM state (including which queue a
+    /// blocked worker waits on) and per-queue occupancy.
+    #[must_use]
+    pub fn dump_state(&self) -> String {
+        let mut out = String::new();
+        for (i, w) in self.workers.iter().enumerate() {
+            let ops = &self.fsms[w.func].states[w.state].ops;
+            let desc = if w.finished {
+                "done".to_string()
+            } else if let Some(done) = w.mem_wait {
+                format!("awaiting memory until cycle {done}")
+            } else if w.entered && w.cursor < ops.len() {
+                match &self.funcs[w.func].inst(ops[w.cursor]).op {
+                    Op::Produce { queue, .. } | Op::ProduceBroadcast { queue, .. } => {
+                        let q = &self.queues[queue.index()];
+                        format!(
+                            "blocked pushing queue '{}' (q{}, {} of {} beats occupied)",
+                            q.name,
+                            queue.index(),
+                            q.total_occupancy(),
+                            q.depth_beats * q.channels()
+                        )
+                    }
+                    Op::Consume { queue, .. } => {
+                        let q = &self.queues[queue.index()];
+                        format!(
+                            "blocked popping queue '{}' (q{}, {} of {} beats occupied)",
+                            q.name,
+                            queue.index(),
+                            q.total_occupancy(),
+                            q.depth_beats * q.channels()
+                        )
+                    }
+                    op => format!("executing {op:?}"),
+                }
+            } else {
+                "between states".to_string()
+            };
+            let _ = writeln!(out, "  worker {i} in state S{}: {desc}", w.state);
+        }
+        for (qi, q) in self.queues.iter().enumerate() {
+            let occ: Vec<String> = (0..q.channels()).map(|c| q.occupancy(c).to_string()).collect();
+            let _ = writeln!(
+                out,
+                "  queue '{}' (q{qi}): occupancy [{}] beats, depth {} beats/channel",
+                q.name,
+                occ.join(", "),
+                q.depth_beats
+            );
+        }
+        out
     }
 
     /// Number of worker instances.
@@ -249,17 +343,25 @@ impl<'m> HwSystem<'m> {
             }
             let mut progressed = false;
             let queue_occ_before: Vec<u32> = if self.trace.is_some() {
-                (0..self.queues.len())
-                    .map(|q| total_occupancy(&self.queues[q]))
-                    .collect()
+                (0..self.queues.len()).map(|q| total_occupancy(&self.queues[q])).collect()
             } else {
                 Vec::new()
             };
-            for wi in 0..self.workers.len() {
+            let n_workers = self.workers.len();
+            for wi in 0..n_workers {
                 let before_busy = self.workers[wi].stats.busy;
                 let before_state = self.workers[wi].state;
                 let before_fin = self.workers[wi].finished;
-                step_worker(
+                if !self.workers[wi].finished {
+                    if let Some(plan) = &mut self.fault {
+                        if plan.stall_active(wi, n_workers, cycle) {
+                            // Clock-gated this cycle: the FSM holds its state.
+                            self.workers[wi].stats.idle += 1;
+                            continue;
+                        }
+                    }
+                }
+                let stepped = step_worker(
                     self.funcs[self.workers[wi].func],
                     &self.fsms[self.workers[wi].func],
                     &mut self.workers[wi],
@@ -268,7 +370,17 @@ impl<'m> HwSystem<'m> {
                     mem,
                     &mut self.liveouts,
                     cycle,
-                )?;
+                    wi,
+                    &mut self.fault,
+                );
+                if let Err(e) = stepped {
+                    return Err(match e {
+                        HwError::Fault { cycle, kind, .. } => {
+                            HwError::Fault { cycle, kind, detail: self.dump_state() }
+                        }
+                        other => other,
+                    });
+                }
                 progressed |= self.workers[wi].stats.busy != before_busy;
                 if let Some(trace) = &mut self.trace {
                     let w = &self.workers[wi];
@@ -299,25 +411,33 @@ impl<'m> HwSystem<'m> {
             if progressed {
                 last_progress = cycle;
             } else if cycle - last_progress > 200_000 {
-                let detail = self
-                    .workers
-                    .iter()
-                    .enumerate()
-                    .map(|(i, w)| {
-                        format!(
-                            "w{i}@S{} {}",
-                            w.state,
-                            if w.finished { "done" } else { "waiting" }
-                        )
-                    })
-                    .collect::<Vec<_>>()
-                    .join(", ");
+                let detail = self.dump_state();
+                // A lost beat can starve a consumer forever: attribute the
+                // hang to the injected corruption rather than to the design.
+                if self.fault.as_ref().is_some_and(FaultPlan::corruption_fired) {
+                    return Err(HwError::Fault { cycle, kind: FaultDetection::Hang, detail });
+                }
                 return Err(HwError::Deadlock { cycle, detail });
             }
             cycle += 1;
         }
         if !self.workers.iter().all(|w| w.finished) {
+            if self.fault.as_ref().is_some_and(FaultPlan::corruption_fired) {
+                let detail = self.dump_state();
+                return Err(HwError::Fault { cycle, kind: FaultDetection::Hang, detail });
+            }
             return Err(HwError::Timeout { cycle });
+        }
+        // A duplicated beat that nobody pops survives to the join; flag it
+        // instead of reporting a clean run.
+        if self.fault.as_ref().is_some_and(FaultPlan::corruption_fired) {
+            if let Some((qi, q)) = self.queues.iter().enumerate().find(|(_, q)| !q.is_drained()) {
+                let kind = FaultDetection::UndrainedQueue {
+                    queue: qi as u32,
+                    beats: q.total_occupancy() as u32,
+                };
+                return Err(HwError::Fault { cycle, kind, detail: self.dump_state() });
+            }
         }
         let fifo_beats = self.queues.iter().map(|q| q.beats_pushed + q.beats_popped).sum();
         Ok(SystemStats {
@@ -358,6 +478,8 @@ fn step_worker(
     mem: &mut SimMemory,
     liveouts: &mut [Option<Value>],
     cycle: u64,
+    wi: usize,
+    fault: &mut Option<FaultPlan>,
 ) -> Result<(), HwError> {
     if w.finished {
         w.stats.idle += 1;
@@ -387,8 +509,11 @@ fn step_worker(
                 w.cursor += 1; // terminators evaluate on state completion
             }
             Op::Load { .. } => {
-                let (addr, _) = mem_effect(func, w, iid, mem);
-                let done = cache.request(cycle, addr);
+                let (addr, _) = mem_effect(func, w, iid, mem, wi)?;
+                let mut done = cache.request(cycle, addr);
+                if let Some(plan) = fault.as_mut() {
+                    done += plan.mem_penalty(cycle);
+                }
                 w.cursor += 1;
                 w.stats.busy += 1;
                 w.mem_wait = Some(done.max(cycle + 1));
@@ -397,12 +522,12 @@ fn step_worker(
             Op::Store { .. } => {
                 // Store buffer: fire and forget; the access still occupies
                 // its bank.
-                let (addr, _) = mem_effect(func, w, iid, mem);
+                let (addr, _) = mem_effect(func, w, iid, mem, wi)?;
                 let _ = cache.request(cycle, addr);
                 w.cursor += 1;
             }
             Op::Produce { .. } | Op::ProduceBroadcast { .. } | Op::Consume { .. } => {
-                match try_queue(func, w, iid, queues) {
+                match try_queue(func, w, iid, queues, cycle, wi, fault)? {
                     QueueOutcome::Blocked => {
                         w.stats.stall_fifo += 1;
                         return Ok(());
@@ -415,36 +540,33 @@ fn step_worker(
             }
             Op::Binary { op, lhs, rhs } => {
                 let r = eval_binary(*op, getv(w, *lhs), getv(w, *rhs));
-                w.vals[inst.result.unwrap().index()] = Some(r);
+                w.vals[result_ix(func, iid, wi)?] = Some(r);
                 w.cursor += 1;
             }
             Op::ICmp { pred, lhs, rhs } => {
                 let r = eval_icmp(*pred, getv(w, *lhs), getv(w, *rhs));
-                w.vals[inst.result.unwrap().index()] = Some(r);
+                w.vals[result_ix(func, iid, wi)?] = Some(r);
                 w.cursor += 1;
             }
             Op::FCmp { pred, lhs, rhs } => {
                 let r = eval_fcmp(*pred, getv(w, *lhs), getv(w, *rhs));
-                w.vals[inst.result.unwrap().index()] = Some(r);
+                w.vals[result_ix(func, iid, wi)?] = Some(r);
                 w.cursor += 1;
             }
             Op::Select { cond, on_true, on_false } => {
-                let r = if getv(w, *cond).as_bool() {
-                    getv(w, *on_true)
-                } else {
-                    getv(w, *on_false)
-                };
-                w.vals[inst.result.unwrap().index()] = Some(r);
+                let r =
+                    if getv(w, *cond).as_bool() { getv(w, *on_true) } else { getv(w, *on_false) };
+                w.vals[result_ix(func, iid, wi)?] = Some(r);
                 w.cursor += 1;
             }
             Op::Cast { kind, value, to } => {
                 let r = eval_cast(*kind, getv(w, *value), *to);
-                w.vals[inst.result.unwrap().index()] = Some(r);
+                w.vals[result_ix(func, iid, wi)?] = Some(r);
                 w.cursor += 1;
             }
             Op::Gep { base, index, scale, offset } => {
                 let r = eval_gep(getv(w, *base), index.map(|v| getv(w, v)), *scale, *offset);
-                w.vals[inst.result.unwrap().index()] = Some(r);
+                w.vals[result_ix(func, iid, wi)?] = Some(r);
                 w.cursor += 1;
             }
             Op::StoreLiveout { slot, value } => {
@@ -477,22 +599,38 @@ fn getv(w: &Worker, v: ValueId) -> Value {
     w.vals[v.index()].expect("operand evaluated in schedule order")
 }
 
+/// Result register of a value-producing op, or [`HwError::Malformed`] when
+/// the instruction reached the datapath without one.
+fn result_ix(func: &Function, inst: InstId, wi: usize) -> Result<usize, HwError> {
+    let i = func.inst(inst);
+    match i.result {
+        Some(r) => Ok(r.index()),
+        None => Err(HwError::Malformed { worker: wi as u32, inst: format!("{:?}", i.op) }),
+    }
+}
+
 /// Perform the functional effect of a memory op; returns (address, is
 /// store).
-fn mem_effect(func: &Function, w: &mut Worker, inst: cgpa_ir::InstId, mem: &mut SimMemory) -> (u32, bool) {
+fn mem_effect(
+    func: &Function,
+    w: &mut Worker,
+    inst: InstId,
+    mem: &mut SimMemory,
+    wi: usize,
+) -> Result<(u32, bool), HwError> {
     let i = func.inst(inst);
     match &i.op {
         Op::Load { addr, ty } => {
             let a = w.vals[addr.index()].expect("load address").as_ptr();
             let v = mem.read_value(a, *ty);
-            w.vals[i.result.unwrap().index()] = Some(v);
-            (a, false)
+            w.vals[result_ix(func, inst, wi)?] = Some(v);
+            Ok((a, false))
         }
         Op::Store { addr, value } => {
             let a = w.vals[addr.index()].expect("store address").as_ptr();
             let v = w.vals[value.index()].expect("store value");
             mem.write_value(a, v);
-            (a, true)
+            Ok((a, true))
         }
         _ => unreachable!("mem_effect on non-memory op"),
     }
@@ -503,45 +641,70 @@ enum QueueOutcome {
     Done { beats: u32 },
 }
 
-/// Attempt the queue operation.
+/// Attempt the queue operation, applying any armed push-side corruption and
+/// checking beat protection on the pop side.
 fn try_queue(
     func: &Function,
     w: &mut Worker,
-    inst: cgpa_ir::InstId,
+    inst: InstId,
     queues: &mut [QueueState],
-) -> QueueOutcome {
+    cycle: u64,
+    wi: usize,
+    fault: &mut Option<FaultPlan>,
+) -> Result<QueueOutcome, HwError> {
     let i = func.inst(inst);
+    let n_queues = queues.len();
     match &i.op {
         Op::Produce { queue, worker_sel, value } => {
             let q = &mut queues[queue.index()];
-            let chan = (w.vals[worker_sel.index()].expect("selector").as_i32() as usize)
-                % q.channels();
+            let chan =
+                (w.vals[worker_sel.index()].expect("selector").as_i32() as usize) % q.channels();
             if !q.can_push(chan) {
-                return QueueOutcome::Blocked;
+                return Ok(QueueOutcome::Blocked);
             }
             let v = w.vals[value.index()].expect("produced value");
             q.push(chan, v);
-            QueueOutcome::Done { beats: v.ty().fifo_beats() }
+            if let Some(plan) = fault.as_mut() {
+                if let Some(c) = plan.queue_corruption(queue.index(), n_queues, q.elems_pushed - 1)
+                {
+                    q.apply_corruption(chan, c);
+                }
+            }
+            Ok(QueueOutcome::Done { beats: v.ty().fifo_beats() })
         }
         Op::ProduceBroadcast { queue, value } => {
             let q = &mut queues[queue.index()];
             if !q.can_push_all() {
-                return QueueOutcome::Blocked;
+                return Ok(QueueOutcome::Blocked);
             }
             let v = w.vals[value.index()].expect("broadcast value");
             q.push_all(v);
-            QueueOutcome::Done { beats: v.ty().fifo_beats() }
+            if let Some(plan) = fault.as_mut() {
+                // `push_all` counted one element push per channel.
+                let n_chan = q.channels() as u64;
+                for c in 0..q.channels() {
+                    let ordinal = q.elems_pushed - n_chan + c as u64;
+                    if let Some(cor) = plan.queue_corruption(queue.index(), n_queues, ordinal) {
+                        q.apply_corruption(c, cor);
+                    }
+                }
+            }
+            Ok(QueueOutcome::Done { beats: v.ty().fifo_beats() })
         }
         Op::Consume { queue, channel_sel, ty } => {
             let q = &mut queues[queue.index()];
-            let chan = (w.vals[channel_sel.index()].expect("selector").as_i32() as usize)
-                % q.channels();
+            let chan =
+                (w.vals[channel_sel.index()].expect("selector").as_i32() as usize) % q.channels();
             if !q.can_pop(chan) {
-                return QueueOutcome::Blocked;
+                return Ok(QueueOutcome::Blocked);
             }
-            let v = q.pop(chan);
-            w.vals[i.result.unwrap().index()] = Some(v);
-            QueueOutcome::Done { beats: ty.fifo_beats() }
+            let v = match q.pop_checked(queue.index() as u32, chan) {
+                Ok(v) => v,
+                // Caller fills `detail` with the whole-system dump.
+                Err(kind) => return Err(HwError::Fault { cycle, kind, detail: String::new() }),
+            };
+            w.vals[result_ix(func, inst, wi)?] = Some(v);
+            Ok(QueueOutcome::Done { beats: ty.fifo_beats() })
         }
         _ => unreachable!("try_queue on non-queue op"),
     }
@@ -557,9 +720,7 @@ fn advance(func: &Function, fsm: &Fsm, w: &mut Worker) {
         return;
     }
     // Evaluate the terminator.
-    let term = func
-        .terminator(state.block)
-        .expect("verified blocks end in terminators");
+    let term = func.terminator(state.block).expect("verified blocks end in terminators");
     match &func.inst(term).op {
         Op::Br { target } => {
             phi_updates(func, w, state.block, *target);
@@ -653,8 +814,11 @@ mod tests {
         }
         let mut mem_ref = mem_hw.clone();
 
-        let mut sys =
-            HwSystem::for_single(&f, &[Value::Ptr(base), Value::I32(n as i32)], HwConfig::default());
+        let mut sys = HwSystem::for_single(
+            &f,
+            &[Value::Ptr(base), Value::I32(n as i32)],
+            HwConfig::default(),
+        );
         let stats = sys.run(&mut mem_hw).unwrap();
         run_function(
             &f,
@@ -785,8 +949,7 @@ mod tests {
         for wid in 0..2 {
             workers.push(Worker::new(1, funcs[1], &[Value::Ptr(out), Value::I32(wid)]));
         }
-        let queues: Vec<QueueState> =
-            m.queues.iter().map(|q| QueueState::new(q, 16)).collect();
+        let queues: Vec<QueueState> = m.queues.iter().map(|q| QueueState::new(q, 16)).collect();
         let mut sys = HwSystem {
             funcs,
             fsms,
@@ -797,6 +960,7 @@ mod tests {
             cfg: HwConfig::default(),
             fifo_total_channels: 4,
             trace: None,
+            fault: None,
         };
         let stats = sys.run(&mut mem).unwrap();
         for i in 0..n {

@@ -84,9 +84,10 @@ pub fn run_function(
     fuel: u64,
     hooks: &mut impl ExecHooks,
 ) -> Result<(Option<Value>, u64), InterpError> {
-    let mut reject = |_: u32, _: &[Value], _: &mut SimMemory| -> Result<Vec<Option<Value>>, String> {
-        Err("no accelerator attached".to_string())
-    };
+    let mut reject =
+        |_: u32, _: &[Value], _: &mut SimMemory| -> Result<Vec<Option<Value>>, String> {
+            Err("no accelerator attached".to_string())
+        };
     run_impl(func, args, mem, fuel, hooks, &mut reject, false)
 }
 
@@ -209,8 +210,8 @@ fn run_impl(
                 }
                 Op::ParallelFork { loop_id, live_ins } if allow_primitives => {
                     let vals_in: Vec<Value> = live_ins.iter().map(|v| get(*v)).collect();
-                    let regs = accelerator(*loop_id, &vals_in, mem)
-                        .map_err(InterpError::UnsupportedOp)?;
+                    let regs =
+                        accelerator(*loop_id, &vals_in, mem).map_err(InterpError::UnsupportedOp)?;
                     // Liveout registers are shared hardware: later loops'
                     // slots extend/overwrite earlier ones.
                     if regs.len() > liveout_regs.len() {
@@ -225,9 +226,9 @@ fn run_impl(
                 }
                 Op::ParallelJoin { .. } if allow_primitives => None,
                 Op::RetrieveLiveout { slot, .. } if allow_primitives => {
-                    Some(liveout_regs.get(*slot as usize).copied().flatten().ok_or_else(
-                        || InterpError::UnsupportedOp(format!("liveout {slot} never stored")),
-                    )?)
+                    Some(liveout_regs.get(*slot as usize).copied().flatten().ok_or_else(|| {
+                        InterpError::UnsupportedOp(format!("liveout {slot} never stored"))
+                    })?)
                 }
                 op => {
                     return Err(InterpError::UnsupportedOp(format!("{op:?}")));
@@ -285,14 +286,9 @@ mod tests {
         for i in 0..10 {
             mem.write_f64(base + i * 8, f64::from(i));
         }
-        let (ret, executed) = run_function(
-            &f,
-            &[Value::Ptr(base), Value::I32(10)],
-            &mut mem,
-            100_000,
-            &mut NoHooks,
-        )
-        .unwrap();
+        let (ret, executed) =
+            run_function(&f, &[Value::Ptr(base), Value::I32(10)], &mut mem, 100_000, &mut NoHooks)
+                .unwrap();
         assert_eq!(ret, Some(Value::F64(45.0)));
         assert!(executed > 50);
     }
@@ -312,14 +308,9 @@ mod tests {
         let f = sum_fn();
         let mut mem = SimMemory::new(1 << 16);
         let base = mem.alloc(8 * 1000, 8);
-        let err = run_function(
-            &f,
-            &[Value::Ptr(base), Value::I32(1000)],
-            &mut mem,
-            100,
-            &mut NoHooks,
-        )
-        .unwrap_err();
+        let err =
+            run_function(&f, &[Value::Ptr(base), Value::I32(1000)], &mut mem, 100, &mut NoHooks)
+                .unwrap_err();
         assert_eq!(err, InterpError::OutOfFuel);
     }
 
@@ -352,8 +343,7 @@ mod tests {
         let mut mem = SimMemory::new(1 << 16);
         let base = mem.alloc(5 * 8, 8);
         let mut hooks = Count { loads: 0, branches: 0 };
-        run_function(&f, &[Value::Ptr(base), Value::I32(5)], &mut mem, 10_000, &mut hooks)
-            .unwrap();
+        run_function(&f, &[Value::Ptr(base), Value::I32(5)], &mut mem, 10_000, &mut hooks).unwrap();
         assert_eq!(hooks.loads, 5);
         assert!(hooks.branches >= 11); // entry + 6 header + 5 latches
     }

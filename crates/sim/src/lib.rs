@@ -21,6 +21,7 @@
 pub mod cache;
 pub mod diff;
 pub mod exec;
+pub mod fault;
 pub mod fifo;
 pub mod hw;
 pub mod interp;
@@ -32,6 +33,7 @@ pub mod value;
 
 pub use cache::{CacheConfig, CacheSystem};
 pub use diff::{diff_memories, render_diffs, WordDiff};
+pub use fault::{Corruption, FaultClass, FaultDetection, FaultKind, FaultPlan};
 pub use fifo::QueueState;
 pub use hw::{HwConfig, HwError, HwSystem};
 pub use interp::{run_function, run_with_accelerator, ExecHooks, InterpError, NoHooks};

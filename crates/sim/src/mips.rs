@@ -132,11 +132,8 @@ impl ExecHooks for MipsTimer<'_> {
             _ => self.cfg.int_op,
         };
         // Apply the IR→MIPS expansion to the base issue cost only.
-        let cost = if cost == self.cfg.int_op {
-            cost * self.cfg.fetch_expansion_pct / 100
-        } else {
-            cost
-        };
+        let cost =
+            if cost == self.cfg.int_op { cost * self.cfg.fetch_expansion_pct / 100 } else { cost };
         self.cycles += cost.max(if matches!(func.inst(inst).op, Op::Phi { .. }) { 0 } else { 1 });
     }
 

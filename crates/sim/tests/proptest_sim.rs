@@ -1,12 +1,12 @@
 //! Property tests over the simulation substrates: FIFO queue sets, the
 //! cache timing model, and bit-accurate operation semantics.
 
+use cgpa_ir::inst::{BinOp, CastKind, IntPredicate};
+use cgpa_ir::{QueueInfo, Ty};
 use cgpa_sim::cache::{CacheConfig, CacheSystem};
 use cgpa_sim::exec::{eval_binary, eval_cast, eval_icmp};
 use cgpa_sim::fifo::QueueState;
 use cgpa_sim::{SimMemory, Value};
-use cgpa_ir::inst::{BinOp, CastKind, IntPredicate};
-use cgpa_ir::{QueueInfo, Ty};
 use proptest::prelude::*;
 
 proptest! {

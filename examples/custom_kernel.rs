@@ -17,7 +17,8 @@ use cgpa_sim::{interp, HwConfig, HwSystem, SimMemory, Value};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Node layout: w f32 @0, col i32 @4, next ptr @8; elem 12.
-    let mut b = FunctionBuilder::new("spdot", &[("head", Ty::Ptr), ("vec", Ty::Ptr)], Some(Ty::F32));
+    let mut b =
+        FunctionBuilder::new("spdot", &[("head", Ty::Ptr), ("vec", Ty::Ptr)], Some(Ty::F32));
     let head = b.param(0);
     let vec = b.param(1);
     let header = b.append_block("header");

@@ -32,7 +32,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== SCC classification (paper Figure 1(d)) ==");
     print!(
         "{}",
-        section_summary(&kernel.func, &compiled.pdg, &compiled.condensation, &compiled.classification)
+        section_summary(
+            &kernel.func,
+            &compiled.pdg,
+            &compiled.condensation,
+            &compiled.classification
+        )
     );
 
     println!("\n== Partition (paper Table 2) ==");

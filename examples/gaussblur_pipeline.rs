@@ -21,20 +21,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let p1 = CgpaCompiler::new(CgpaConfig::default()).compile(&kernel.func, &kernel.model)?;
     println!("P1 shape: {} (paper: S-P)", p1.shape);
-    let broadcasts = p1
-        .pipeline
-        .queues
-        .iter()
-        .filter(|q| q.kind == QueueKind::Broadcast)
-        .count();
+    let broadcasts = p1.pipeline.queues.iter().filter(|q| q.kind == QueueKind::Broadcast).count();
     println!("broadcast queues (R3's pixel to all shift chains): {broadcasts}");
     println!("duplicated sections (R1 induction + R2 shift registers): {:?}", p1.plan.duplicated);
     println!("feeders hoisted to the sequential stage (R3): {:?}", p1.plan.feeders);
 
-    let p2cfg = CgpaConfig {
-        placement: ReplicablePlacement::Replicated,
-        ..CgpaConfig::default()
-    };
+    let p2cfg = CgpaConfig { placement: ReplicablePlacement::Replicated, ..CgpaConfig::default() };
     let p2c = CgpaCompiler::new(p2cfg).compile(&kernel.func, &kernel.model)?;
     println!("\nP2 shape: {} (paper: P — no sequential stage, redundant fetches)", p2c.shape);
 

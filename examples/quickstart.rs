@@ -12,10 +12,7 @@ use cgpa_kernels::em3d;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Build a workload: em3d's bipartite linked lists, scattered in
     //    simulated memory just like the Olden allocator would.
-    let kernel = em3d::build(
-        &em3d::Params::fixed(400, 400, 8, 32),
-        7,
-    );
+    let kernel = em3d::build(&em3d::Params::fixed(400, 400, 8, 32), 7);
     println!("kernel `{}` ({} outer iterations)", kernel.name, kernel.iterations);
 
     // 2. Run the compiler: PDG -> SCC classification -> pipeline partition
@@ -32,10 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cgpa = run_cgpa(&kernel, CgpaConfig::default())?;
     println!("\n{:<10} {:>12} {:>10} {:>10}", "config", "cycles", "ALUT", "energy");
     for r in [&mips, &legup, &cgpa] {
-        println!(
-            "{:<10} {:>12} {:>10} {:>9.1}uJ",
-            r.config, r.cycles, r.alut, r.energy_uj
-        );
+        println!("{:<10} {:>12} {:>10} {:>9.1}uJ", r.config, r.cycles, r.alut, r.energy_uj);
     }
     println!(
         "\nCGPA speedup: {:.2}x over MIPS, {:.2}x over LegUp (paper: ~5.3x / ~3.5x for em3d)",

@@ -31,7 +31,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         verilog.matches("\nmodule ").count() + 1
     );
 
-    for needle in ["cgpa_fifo", "hash_index_stage0", "hash_index_stage1", "hash_index_stage2", "tb_"] {
+    for needle in
+        ["cgpa_fifo", "hash_index_stage0", "hash_index_stage1", "hash_index_stage2", "tb_"]
+    {
         assert!(verilog.contains(needle), "missing {needle}");
     }
     println!("design contains the FIFO library, all stage workers, top, and testbench");

@@ -22,8 +22,8 @@ fn every_kernel_runs_and_verifies_under_every_flow() {
     for k in small_suite() {
         let mips = run_mips(&k).unwrap_or_else(|e| panic!("{}: mips: {e}", k.name));
         let legup = run_legup(&k).unwrap_or_else(|e| panic!("{}: legup: {e}", k.name));
-        let cgpa = run_cgpa(&k, CgpaConfig::default())
-            .unwrap_or_else(|e| panic!("{}: cgpa: {e}", k.name));
+        let cgpa =
+            run_cgpa(&k, CgpaConfig::default()).unwrap_or_else(|e| panic!("{}: cgpa: {e}", k.name));
         assert!(mips.cycles > 0 && legup.cycles > 0 && cgpa.cycles > 0);
         // The paper's qualitative ordering: specialization beats software,
         // pipelining beats sequential specialization.
@@ -99,11 +99,7 @@ fn p1_beats_p2_on_both_tradeoff_kernels() {
             p1.cycles,
             p2.cycles
         );
-        assert!(
-            p1.energy_uj < p2.energy_uj,
-            "{}: P1 should use less energy",
-            k.name
-        );
+        assert!(p1.energy_uj < p2.energy_uj, "{}: P1 should use less energy", k.name);
     }
 }
 
@@ -141,9 +137,9 @@ fn deterministic_across_repeat_runs() {
 #[test]
 fn em3d_tolerates_slow_memory_better_than_sequential_hls() {
     // The paper's §2.2 claim: FIFOs confine variable latency to one stage.
+    use cgpa_repro::cgpa::flows::{run_cgpa_tuned, HwTuning};
     use cgpa_repro::sim::cache::CacheConfig;
     use cgpa_repro::sim::{HwConfig, HwSystem};
-    use cgpa_repro::cgpa::flows::{run_cgpa_tuned, HwTuning};
 
     let k = em3d::build(&em3d::Params::fixed(96, 96, 6, 24), 5);
     let legup_at = |ml: u32| {
