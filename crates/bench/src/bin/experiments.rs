@@ -1,16 +1,26 @@
 //! Regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! experiments [table2|fig4|table3|tradeoff|scalability|ablation|topology|all] [--quick] [--csv <dir>]
+//! experiments [table2|fig4|table3|tradeoff|scalability|ablation|topology|bench|all]
+//!             [--quick] [--csv <dir>] [--json] [--label <name>]
 //! ```
 //!
 //! `--csv <dir>` additionally writes machine-readable CSV files per
 //! experiment for downstream plotting.
+//!
+//! `bench` measures the harness itself: per-kernel wall-clock compile and
+//! simulation time under both simulation engines (event-driven scheduler vs
+//! per-cycle reference), simulated cycles, and speedup over LegUp. With
+//! `--json` it writes `BENCH_<label>.json` (label from `--label`, the
+//! `BENCH_LABEL` env var, or the current git short SHA) for regression
+//! tracking; compare against the committed `BENCH_baseline.json`.
 
 use cgpa::compiler::{CgpaCompiler, CgpaConfig};
 use cgpa::report::{geomean, BenchmarkReport};
 use cgpa_bench::{bench_kernels, full_report, scalability_sweep, KernelSet};
 use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::time::Instant;
 
 thread_local! {
     static CSV_DIR: RefCell<Option<std::path::PathBuf>> = const { RefCell::new(None) };
@@ -46,16 +56,21 @@ fn main() {
     }
     CSV_DIR.with(|c| *c.borrow_mut() = csv_dir);
     let set = if quick { KernelSet::Quick } else { KernelSet::Full };
-    let mut positional = args.iter().filter(|a| !a.starts_with("--"));
-    let mut which = positional.next().cloned().unwrap_or_else(|| "all".to_string());
-    // `--csv <dir>`'s operand is positional; skip it.
-    if let Some(i) = args.iter().position(|a| a == "--csv") {
-        if args.get(i + 1).map(String::as_str) == Some(which.as_str()) {
-            which = positional.next().cloned().unwrap_or_else(|| "all".to_string());
-        }
-    }
+    // Flags that consume the following argument: their operands are not
+    // positional.
+    let operand_of: Vec<usize> = ["--csv", "--label"]
+        .iter()
+        .filter_map(|f| args.iter().position(|a| a == *f).map(|i| i + 1))
+        .collect();
+    let which = args
+        .iter()
+        .enumerate()
+        .find(|(i, a)| !a.starts_with("--") && !operand_of.contains(i))
+        .map(|(_, a)| a.clone())
+        .unwrap_or_else(|| "all".to_string());
 
     match which.as_str() {
+        "bench" => bench(set, args.iter().any(|a| a == "--json"), &bench_label(&args)),
         "table2" => table2(set),
         "fig4" => fig4(set),
         "table3" => table3(set),
@@ -75,11 +90,273 @@ fn main() {
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: experiments [table2|fig4|table3|tradeoff|scalability|ablation|topology|all] [--quick]"
+                "usage: experiments [table2|fig4|table3|tradeoff|scalability|ablation|topology|bench|all] [--quick] [--csv <dir>] [--json] [--label <name>]"
             );
             std::process::exit(2);
         }
     }
+}
+
+/// Label for `BENCH_<label>.json`: `--label` wins, then the `BENCH_LABEL`
+/// environment variable, then the git short SHA, then `"local"`.
+fn bench_label(args: &[String]) -> String {
+    if let Some(l) = args.iter().position(|a| a == "--label").and_then(|i| args.get(i + 1)) {
+        return l.clone();
+    }
+    if let Ok(l) = std::env::var("BENCH_LABEL") {
+        if !l.is_empty() {
+            return l;
+        }
+    }
+    if let Ok(out) =
+        std::process::Command::new("git").args(["rev-parse", "--short", "HEAD"]).output()
+    {
+        if out.status.success() {
+            let sha = String::from_utf8_lossy(&out.stdout).trim().to_string();
+            if !sha.is_empty() {
+                return sha;
+            }
+        }
+    }
+    "local".to_string()
+}
+
+/// Miss latency for the memory-latency-dominated bench row: a slow-DRAM
+/// regime where a single-worker accelerator spends most cycles waiting and
+/// the event-driven engine can skip straight to each completion. The quick
+/// inputs fit in the default 64 KB cache, so the row also shrinks the cache
+/// to [`HIMEM_CACHE_LINES`] lines to make accesses actually miss.
+const HIMEM_MISS_LATENCY: u32 = 400;
+
+/// Cache lines for the memory-latency-dominated bench row.
+const HIMEM_CACHE_LINES: u32 = 2;
+
+/// Timing repetitions per measurement; the minimum is reported (runs are
+/// deterministic, so the minimum is the least-noise estimate).
+const BENCH_REPS: u32 = 3;
+
+/// Run `f` [`BENCH_REPS`] times; return the minimum wall-clock in ms and
+/// the last result.
+fn timed_min<R>(mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..BENCH_REPS {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        out = Some(r);
+    }
+    (best, out.expect("BENCH_REPS >= 1"))
+}
+
+/// One kernel's measurements for the `bench` subcommand.
+struct BenchEntry {
+    name: String,
+    compile_ms: f64,
+    sim_ms_event: f64,
+    sim_ms_reference: f64,
+    legup_cycles: u64,
+    cgpa_cycles: u64,
+    skipped_cycles: u64,
+    /// LegUp wall-clock at [`HIMEM_MISS_LATENCY`], event engine.
+    himem_ms_event: f64,
+    /// LegUp wall-clock at [`HIMEM_MISS_LATENCY`], per-cycle reference.
+    himem_ms_reference: f64,
+    /// Simulated cycles of the high-miss-latency run (identical under both
+    /// engines, asserted).
+    himem_cycles: u64,
+}
+
+impl BenchEntry {
+    /// Wall-clock ratio reference-stepper / event-engine (higher = the
+    /// scheduler skips more).
+    fn engine_speedup(&self) -> f64 {
+        if self.sim_ms_event > 0.0 {
+            self.sim_ms_reference / self.sim_ms_event
+        } else {
+            1.0
+        }
+    }
+
+    /// Engine speedup in the memory-latency-dominated regime.
+    fn himem_engine_speedup(&self) -> f64 {
+        if self.himem_ms_event > 0.0 {
+            self.himem_ms_reference / self.himem_ms_event
+        } else {
+            1.0
+        }
+    }
+
+    /// Simulated-cycle speedup of CGPA(P1) over LegUp.
+    fn speedup_vs_legup(&self) -> f64 {
+        self.legup_cycles as f64 / self.cgpa_cycles.max(1) as f64
+    }
+}
+
+/// Harness self-benchmark: wall-clock compile+sim per kernel under both
+/// simulation engines, plus simulated cycles and speedup over LegUp.
+fn bench(set: KernelSet, json: bool, label: &str) {
+    use cgpa::flows::{run_compiled_tuned, run_legup_engine, HwTuning};
+    use cgpa_sim::cache::CacheConfig;
+    use cgpa_sim::{HwConfig, HwSystem, SimEngine};
+
+    println!("== Bench: harness wall-clock and simulated cycles (per kernel) ==");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>9} {:>9} {:>12} {:>12} {:>9}",
+        "benchmark",
+        "compile",
+        "sim(ev)",
+        "sim(ref)",
+        "engine x",
+        "himem x",
+        "legup cyc",
+        "cgpa cyc",
+        "speedup"
+    );
+    let wall = Instant::now();
+    let kernels = bench_kernels(set, 42);
+    let entries: Vec<BenchEntry> = kernels
+        .iter()
+        .map(|k| {
+            let cfg = CgpaConfig::default();
+            let t = Instant::now();
+            let compiled = CgpaCompiler::new(cfg).compile(&k.func, &k.model).unwrap_or_else(|e| {
+                eprintln!("{}: compile failed: {e}", k.name);
+                std::process::exit(1);
+            });
+            let compile_ms = t.elapsed().as_secs_f64() * 1e3;
+
+            // Same work under each engine: the LegUp single-worker run (the
+            // memory-latency-dominated case) plus the CGPA(P1) pipeline.
+            let timed = |engine: SimEngine| {
+                let tuning = HwTuning { engine, ..HwTuning::default() };
+                let (ms, (legup, cgpa)) = timed_min(|| {
+                    let legup = run_legup_engine(k, engine).unwrap_or_else(|e| {
+                        eprintln!("{}: legup failed: {e}", k.name);
+                        std::process::exit(1);
+                    });
+                    let cgpa = run_compiled_tuned(k, &compiled, cfg, tuning).unwrap_or_else(|e| {
+                        eprintln!("{}: cgpa failed: {e}", k.name);
+                        std::process::exit(1);
+                    });
+                    (legup, cgpa)
+                });
+                (ms, legup, cgpa)
+            };
+            let (sim_ms_event, legup_ev, cgpa_ev) = timed(SimEngine::EventDriven);
+            let (sim_ms_reference, legup_ref, cgpa_ref) = timed(SimEngine::PerCycle);
+            // The two engines must agree cycle-for-cycle; this is the same
+            // invariant the differential tests enforce, re-checked on every
+            // bench run.
+            assert_eq!(legup_ev.cycles, legup_ref.cycles, "{}: legup engines disagree", k.name);
+            assert_eq!(cgpa_ev.cycles, cgpa_ref.cycles, "{}: cgpa engines disagree", k.name);
+
+            // Memory-latency-dominated regime: single worker, one bank, a
+            // cache too small for the working set, slow misses. Here nearly
+            // every cycle is a stall the scheduler can jump over.
+            let timed_himem = |engine: SimEngine| {
+                let hw = HwConfig {
+                    cache: CacheConfig {
+                        banks: 1,
+                        lines: HIMEM_CACHE_LINES,
+                        miss_latency: HIMEM_MISS_LATENCY,
+                        ..CacheConfig::default()
+                    },
+                    engine,
+                    ..HwConfig::default()
+                };
+                timed_min(|| {
+                    let mut mem = k.mem.clone();
+                    let mut sys = HwSystem::for_single(&k.func, &k.args, hw);
+                    sys.run(&mut mem)
+                        .unwrap_or_else(|e| {
+                            eprintln!("{}: himem run failed: {e}", k.name);
+                            std::process::exit(1);
+                        })
+                        .cycles
+                })
+            };
+            let (himem_ms_event, himem_cyc_ev) = timed_himem(SimEngine::EventDriven);
+            let (himem_ms_reference, himem_cyc_ref) = timed_himem(SimEngine::PerCycle);
+            assert_eq!(himem_cyc_ev, himem_cyc_ref, "{}: himem engines disagree", k.name);
+
+            let skipped = legup_ev.stats.as_ref().map_or(0, |s| s.skipped_cycles)
+                + cgpa_ev.stats.as_ref().map_or(0, |s| s.skipped_cycles);
+            let e = BenchEntry {
+                name: k.name.clone(),
+                compile_ms,
+                sim_ms_event,
+                sim_ms_reference,
+                legup_cycles: legup_ev.cycles,
+                cgpa_cycles: cgpa_ev.cycles,
+                skipped_cycles: skipped,
+                himem_ms_event,
+                himem_ms_reference,
+                himem_cycles: himem_cyc_ev,
+            };
+            println!(
+                "{:<14} {:>8.1}ms {:>8.1}ms {:>8.1}ms {:>8.2}x {:>8.2}x {:>12} {:>12} {:>8.2}x",
+                e.name,
+                e.compile_ms,
+                e.sim_ms_event,
+                e.sim_ms_reference,
+                e.engine_speedup(),
+                e.himem_engine_speedup(),
+                e.legup_cycles,
+                e.cgpa_cycles,
+                e.speedup_vs_legup()
+            );
+            e
+        })
+        .collect();
+    let total_wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let speedups: Vec<f64> = entries.iter().map(BenchEntry::engine_speedup).collect();
+    let himem: Vec<f64> = entries.iter().map(BenchEntry::himem_engine_speedup).collect();
+    println!(
+        "total {total_wall_ms:.1}ms; engine speedup geomean {:.2}x default, {:.2}x at {HIMEM_MISS_LATENCY}-cycle misses",
+        geomean(&speedups),
+        geomean(&himem)
+    );
+    println!();
+
+    if json {
+        let path = format!("BENCH_{label}.json");
+        std::fs::write(&path, bench_json(label, set, &entries, total_wall_ms))
+            .expect("write bench json");
+        eprintln!("wrote {path}");
+    }
+}
+
+/// Hand-rolled JSON (the workspace takes no serialization dependency).
+fn bench_json(label: &str, set: KernelSet, entries: &[BenchEntry], total_wall_ms: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"label\": \"{label}\",");
+    let _ =
+        writeln!(out, "  \"set\": \"{}\",", if set == KernelSet::Quick { "quick" } else { "full" });
+    let _ = writeln!(out, "  \"total_wall_ms\": {total_wall_ms:.3},");
+    let _ = writeln!(out, "  \"kernels\": [");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", e.name);
+        let _ = writeln!(out, "      \"compile_ms\": {:.3},", e.compile_ms);
+        let _ = writeln!(out, "      \"sim_ms_event\": {:.3},", e.sim_ms_event);
+        let _ = writeln!(out, "      \"sim_ms_reference\": {:.3},", e.sim_ms_reference);
+        let _ = writeln!(out, "      \"engine_speedup\": {:.3},", e.engine_speedup());
+        let _ = writeln!(out, "      \"legup_cycles\": {},", e.legup_cycles);
+        let _ = writeln!(out, "      \"cgpa_cycles\": {},", e.cgpa_cycles);
+        let _ = writeln!(out, "      \"skipped_cycles\": {},", e.skipped_cycles);
+        let _ = writeln!(out, "      \"himem_miss_latency\": {HIMEM_MISS_LATENCY},");
+        let _ = writeln!(out, "      \"himem_sim_ms_event\": {:.3},", e.himem_ms_event);
+        let _ = writeln!(out, "      \"himem_sim_ms_reference\": {:.3},", e.himem_ms_reference);
+        let _ = writeln!(out, "      \"himem_engine_speedup\": {:.3},", e.himem_engine_speedup());
+        let _ = writeln!(out, "      \"himem_cycles\": {},", e.himem_cycles);
+        let _ = writeln!(out, "      \"speedup_vs_legup\": {:.4}", e.speedup_vs_legup());
+        let _ = writeln!(out, "    }}{}", if i + 1 < entries.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
 }
 
 fn run_suite(set: KernelSet) -> Vec<BenchmarkReport> {

@@ -44,39 +44,69 @@ pub fn has_p2(name: &str) -> bool {
     matches!(name, "em3d" | "gaussblur")
 }
 
-/// Run all configurations for one kernel.
-///
-/// # Errors
-/// Forwards the first flow error.
-pub fn report_for(k: &BuiltKernel, workers: u32) -> Result<BenchmarkReport, FlowError> {
-    let mips = run_mips(k)?;
-    let legup = run_legup(k)?;
-    let p1 = run_cgpa(k, CgpaConfig { workers, ..CgpaConfig::default() })?;
-    let p2 = if has_p2(&k.name) {
-        Some(run_cgpa(
-            k,
-            CgpaConfig {
-                workers,
-                placement: ReplicablePlacement::Replicated,
-                ..CgpaConfig::default()
-            },
-        )?)
-    } else {
-        None
-    };
-    Ok(BenchmarkReport { name: k.name.clone(), mips, legup, cgpa_p1: p1, cgpa_p2: p2 })
+/// Map `f` over `items` with one scoped thread per item, preserving input
+/// order. The matrices here are small (five kernels × a handful of
+/// configurations), so plain `std::thread::scope` is enough — no pool, no
+/// extra dependencies.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    std::thread::scope(|s| {
+        for (slot, item) in out.iter_mut().zip(items) {
+            let f = &f;
+            s.spawn(move || *slot = Some(f(item)));
+        }
+    });
+    out.into_iter().map(|r| r.expect("scoped thread ran to completion")).collect()
 }
 
-/// Run the whole suite.
+/// Run all configurations for one kernel. The four flows (MIPS, LegUp,
+/// CGPA-P1 and, where the paper reports it, CGPA-P2) run concurrently.
 ///
 /// # Errors
-/// Forwards the first flow error.
+/// Forwards the first flow error (in MIPS, LegUp, P1, P2 order).
+pub fn report_for(k: &BuiltKernel, workers: u32) -> Result<BenchmarkReport, FlowError> {
+    let p1_cfg = CgpaConfig { workers, ..CgpaConfig::default() };
+    let p2_cfg =
+        CgpaConfig { workers, placement: ReplicablePlacement::Replicated, ..CgpaConfig::default() };
+    let (mips, legup, p1, p2) = std::thread::scope(|s| {
+        let mips = s.spawn(|| run_mips(k));
+        let legup = s.spawn(|| run_legup(k));
+        let p1 = s.spawn(move || run_cgpa(k, p1_cfg));
+        let p2 = has_p2(&k.name).then(|| s.spawn(move || run_cgpa(k, p2_cfg)));
+        (
+            mips.join().expect("mips flow"),
+            legup.join().expect("legup flow"),
+            p1.join().expect("p1 flow"),
+            p2.map(|h| h.join().expect("p2 flow")),
+        )
+    });
+    Ok(BenchmarkReport {
+        name: k.name.clone(),
+        mips: mips?,
+        legup: legup?,
+        cgpa_p1: p1?,
+        cgpa_p2: p2.transpose()?,
+    })
+}
+
+/// Run the whole suite, one kernel per thread (each kernel fans out further
+/// across its configurations in [`report_for`]).
+///
+/// # Errors
+/// Forwards the first flow error (in kernel order).
 pub fn full_report(
     set: KernelSet,
     workers: u32,
     seed: u64,
 ) -> Result<Vec<BenchmarkReport>, FlowError> {
-    bench_kernels(set, seed).iter().map(|k| report_for(k, workers)).collect()
+    let kernels = bench_kernels(set, seed);
+    par_map(&kernels, |k| report_for(k, workers)).into_iter().collect()
 }
 
 /// Ablation: FIFO depth sweep (the paper fixes 16 beats in §4.1 — how much
@@ -85,17 +115,16 @@ pub fn full_report(
 /// # Errors
 /// Forwards the first flow error.
 pub fn fifo_depth_sweep(k: &BuiltKernel, depths: &[usize]) -> Result<Vec<(usize, u64)>, FlowError> {
-    depths
-        .iter()
-        .map(|&d| {
-            let r = run_cgpa_tuned(
-                k,
-                CgpaConfig::default(),
-                HwTuning { fifo_depth_beats: d, ..HwTuning::default() },
-            )?;
-            Ok((d, r.cycles))
-        })
-        .collect()
+    par_map(depths, |&d| {
+        let r = run_cgpa_tuned(
+            k,
+            CgpaConfig::default(),
+            HwTuning { fifo_depth_beats: d, ..HwTuning::default() },
+        )?;
+        Ok((d, r.cycles))
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Ablation: miss-latency sweep — how well does decoupled pipelining
@@ -112,26 +141,25 @@ pub fn miss_latency_sweep(
 ) -> Result<Vec<(u32, u64, u64)>, FlowError> {
     use cgpa_sim::cache::CacheConfig;
     use cgpa_sim::{HwConfig, HwSystem};
-    latencies
-        .iter()
-        .map(|&ml| {
-            // LegUp at this latency.
-            let mut mem = k.mem.clone();
-            let cfg = HwConfig {
-                cache: CacheConfig { banks: 1, miss_latency: ml, ..CacheConfig::default() },
-                ..HwConfig::default()
-            };
-            let mut sys = HwSystem::for_single(&k.func, &k.args, cfg);
-            let legup = sys.run(&mut mem).map_err(cgpa::flows::FlowError::Hw)?.cycles;
-            let cgpa = run_cgpa_tuned(
-                k,
-                CgpaConfig::default(),
-                HwTuning { miss_latency: ml, ..HwTuning::default() },
-            )?
-            .cycles;
-            Ok((ml, legup, cgpa))
-        })
-        .collect()
+    par_map(latencies, |&ml| {
+        // LegUp at this latency.
+        let mut mem = k.mem.clone();
+        let cfg = HwConfig {
+            cache: CacheConfig { banks: 1, miss_latency: ml, ..CacheConfig::default() },
+            ..HwConfig::default()
+        };
+        let mut sys = HwSystem::for_single(&k.func, &k.args, cfg);
+        let legup = sys.run(&mut mem).map_err(cgpa::flows::FlowError::Hw)?.cycles;
+        let cgpa = run_cgpa_tuned(
+            k,
+            CgpaConfig::default(),
+            HwTuning { miss_latency: ml, ..HwTuning::default() },
+        )?
+        .cycles;
+        Ok((ml, legup, cgpa))
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Appendix B scalability: CGPA(P1) cycles for several worker counts.
@@ -142,11 +170,10 @@ pub fn scalability_sweep(
     k: &BuiltKernel,
     worker_counts: &[u32],
 ) -> Result<Vec<(u32, u64)>, FlowError> {
-    worker_counts
-        .iter()
-        .map(|&w| {
-            let r = run_cgpa(k, CgpaConfig { workers: w, ..CgpaConfig::default() })?;
-            Ok((w, r.cycles))
-        })
-        .collect()
+    par_map(worker_counts, |&w| {
+        let r = run_cgpa(k, CgpaConfig { workers: w, ..CgpaConfig::default() })?;
+        Ok((w, r.cycles))
+    })
+    .into_iter()
+    .collect()
 }

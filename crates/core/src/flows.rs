@@ -21,7 +21,7 @@ use cgpa_rtl::schedule::schedule_function;
 use cgpa_sim::cache::CacheConfig;
 use cgpa_sim::interp::run_with_accelerator;
 use cgpa_sim::mips::{run_mips as sim_run_mips, MipsConfig};
-use cgpa_sim::{FaultPlan, HwConfig, HwError, HwSystem, SimMemory, SystemStats, Value};
+use cgpa_sim::{FaultPlan, HwConfig, HwError, HwSystem, SimEngine, SimMemory, SystemStats, Value};
 use std::error::Error;
 use std::fmt;
 
@@ -115,8 +115,19 @@ pub fn run_mips(k: &BuiltKernel) -> Result<RunResult, FlowError> {
 /// # Errors
 /// See [`FlowError`]. The run is verified against the functional reference.
 pub fn run_legup(k: &BuiltKernel) -> Result<RunResult, FlowError> {
+    run_legup_engine(k, SimEngine::default())
+}
+
+/// [`run_legup`] with an explicit simulation engine (the event-driven
+/// scheduler or the per-cycle reference stepper). Used by the differential
+/// test matrix; results must be identical either way.
+///
+/// # Errors
+/// See [`FlowError`].
+pub fn run_legup_engine(k: &BuiltKernel, engine: SimEngine) -> Result<RunResult, FlowError> {
     let cfg = HwConfig {
         cache: CacheConfig { banks: 1, ..CacheConfig::default() },
+        engine,
         ..HwConfig::default()
     };
     let mut mem = k.mem.clone();
@@ -158,11 +169,19 @@ pub struct HwTuning {
     pub fifo_depth_beats: usize,
     /// Cache miss latency in cycles.
     pub miss_latency: u32,
+    /// Simulation engine (event-driven scheduler vs per-cycle reference).
+    /// Cycle counts and statistics are identical either way; only wall-clock
+    /// time differs.
+    pub engine: SimEngine,
 }
 
 impl Default for HwTuning {
     fn default() -> Self {
-        HwTuning { fifo_depth_beats: 16, miss_latency: CacheConfig::default().miss_latency }
+        HwTuning {
+            fifo_depth_beats: 16,
+            miss_latency: CacheConfig::default().miss_latency,
+            engine: SimEngine::default(),
+        }
     }
 }
 
@@ -239,6 +258,7 @@ fn run_compiled_impl(
             ..CacheConfig::default()
         },
         fifo_depth_beats: tuning.fifo_depth_beats,
+        engine: tuning.engine,
         ..HwConfig::default()
     };
 
@@ -340,10 +360,24 @@ pub fn run_cgpa_with_faults(
     config: CgpaConfig,
     plan: FaultPlan,
 ) -> Result<(RunResult, FaultPlan), FlowError> {
+    run_cgpa_with_faults_tuned(k, config, plan, HwTuning::default())
+}
+
+/// [`run_cgpa_with_faults`] with explicit microarchitectural knobs — in
+/// particular the simulation engine, for the engine-differential fault
+/// matrix.
+///
+/// # Errors
+/// See [`FlowError`].
+pub fn run_cgpa_with_faults_tuned(
+    k: &BuiltKernel,
+    config: CgpaConfig,
+    plan: FaultPlan,
+    tuning: HwTuning,
+) -> Result<(RunResult, FaultPlan), FlowError> {
     let compiler = CgpaCompiler::new(config);
     let compiled = compiler.compile(&k.func, &k.model)?;
-    let (r, plan_out) =
-        run_compiled_impl(k, &compiled, config, HwTuning::default(), Some(plan.clone()))?;
+    let (r, plan_out) = run_compiled_impl(k, &compiled, config, tuning, Some(plan.clone()))?;
     Ok((r, plan_out.unwrap_or(plan)))
 }
 

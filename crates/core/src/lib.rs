@@ -41,7 +41,8 @@ pub use compiler::{
     DegradedCompile,
 };
 pub use flows::{
-    run_cgpa, run_cgpa_degraded, run_cgpa_tuned, run_cgpa_with_faults, run_compiled,
-    run_compiled_tuned, run_legup, run_mips, FlowError, HwTuning, RunResult,
+    run_cgpa, run_cgpa_degraded, run_cgpa_tuned, run_cgpa_with_faults, run_cgpa_with_faults_tuned,
+    run_compiled, run_compiled_tuned, run_legup, run_legup_engine, run_mips, FlowError, HwTuning,
+    RunResult,
 };
 pub use report::{geomean, pipeline_summary, BenchmarkReport};

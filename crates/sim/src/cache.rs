@@ -98,7 +98,8 @@ impl CacheSystem {
 
     /// Issue an access at `cycle`; returns the cycle at which the data is
     /// available (stores complete at the same latency — write-allocate,
-    /// write-back).
+    /// write-back). Hot path: inlined into the simulator's step loop.
+    #[inline]
     pub fn request(&mut self, cycle: u64, addr: u32) -> u64 {
         let block = addr / self.cfg.block_bytes;
         let line = (block % self.cfg.lines) as usize;
@@ -125,6 +126,7 @@ impl CacheSystem {
     }
 
     /// Non-timed warm-up / occupancy probe: true if `addr` currently hits.
+    #[inline]
     #[must_use]
     pub fn probe(&self, addr: u32) -> bool {
         let block = addr / self.cfg.block_bytes;

@@ -356,6 +356,30 @@ impl FaultPlan {
         extra
     }
 
+    /// The next cycle strictly after `cycle` at which a timed fault window
+    /// (stall, contention, latency burst) opens or closes, or `u64::MAX`
+    /// when none remains. The event-driven engine must evaluate these
+    /// cycles: a window edge reclassifies worker stalls (idle vs
+    /// stall-mem/fifo) and changes cache-access penalties.
+    #[must_use]
+    pub fn next_timed_boundary(&self, cycle: u64) -> u64 {
+        let mut next = u64::MAX;
+        for (f, _) in &self.faults {
+            let (at, len) = match f {
+                FaultKind::StallWorker { at_cycle, cycles, .. }
+                | FaultKind::PortContention { at_cycle, cycles, .. }
+                | FaultKind::MemLatencyBurst { at_cycle, cycles, .. } => (*at_cycle, *cycles),
+                _ => continue,
+            };
+            for edge in [at, at.saturating_add(u64::from(len))] {
+                if edge > cycle {
+                    next = next.min(edge);
+                }
+            }
+        }
+        next
+    }
+
     /// Corruption to apply to element-push number `elem_index` on queue
     /// `queue` (of `n_queues`), if any fault matches.
     pub fn queue_corruption(

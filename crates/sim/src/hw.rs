@@ -27,6 +27,25 @@ use std::error::Error;
 use std::fmt;
 use std::fmt::Write as _;
 
+/// Which scheduling engine [`HwSystem::run`] uses.
+///
+/// Both engines are cycle-exact: they produce bit-identical liveouts,
+/// return values, cycle counts, and per-worker statistics (the
+/// differential test matrix in `tests/differential_engines.rs` enforces
+/// this). The event-driven engine is simply faster on runs with long
+/// provably-idle windows (memory-latency-dominated phases, injected stall
+/// windows, pipeline fill/drain bubbles).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SimEngine {
+    /// Skip-ahead scheduler: when no worker can act, jump straight to the
+    /// next wake-up cycle and bulk-credit the skipped stall/idle cycles.
+    #[default]
+    EventDriven,
+    /// Cycle-by-cycle reference stepper (forced whenever tracing is
+    /// armed, since a waveform needs per-cycle observation).
+    PerCycle,
+}
+
 /// Simulator configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct HwConfig {
@@ -36,11 +55,18 @@ pub struct HwConfig {
     pub cache: CacheConfig,
     /// Cycle budget before the run is declared hung.
     pub fuel_cycles: u64,
+    /// Scheduling engine (identical results either way; see [`SimEngine`]).
+    pub engine: SimEngine,
 }
 
 impl Default for HwConfig {
     fn default() -> Self {
-        HwConfig { fifo_depth_beats: 16, cache: CacheConfig::default(), fuel_cycles: 500_000_000 }
+        HwConfig {
+            fifo_depth_beats: 16,
+            cache: CacheConfig::default(),
+            fuel_cycles: 500_000_000,
+            engine: SimEngine::default(),
+        }
     }
 }
 
@@ -329,38 +355,84 @@ impl<'m> HwSystem<'m> {
         self.workers[0].ret
     }
 
-    /// Run to completion.
+    /// Run to completion with the configured engine (tracing forces the
+    /// per-cycle stepper so every cycle is observable).
     ///
     /// # Errors
     /// [`HwError::Timeout`] when fuel runs out, [`HwError::Deadlock`] when
     /// no worker progresses, [`HwError::Unsupported`] on host-only ops.
     pub fn run(&mut self, mem: &mut SimMemory) -> Result<SystemStats, HwError> {
+        let skip = self.cfg.engine == SimEngine::EventDriven && self.trace.is_none();
+        self.run_impl(mem, skip)
+    }
+
+    /// Run to completion with the per-cycle reference stepper, regardless
+    /// of the configured engine. Retained for differential testing: the
+    /// event-driven engine must match it bit- and cycle-exactly.
+    ///
+    /// # Errors
+    /// Same as [`HwSystem::run`].
+    pub fn run_reference(&mut self, mem: &mut SimMemory) -> Result<SystemStats, HwError> {
+        self.run_impl(mem, false)
+    }
+
+    /// Progress watchdog window: scales with the fuel budget rather than a
+    /// magic constant (fuel/2500 = 200k cycles at the 5×10⁸ default),
+    /// floored so short-fuel runs still separate deadlock from timeout.
+    fn watchdog_cycles(&self) -> u64 {
+        (self.cfg.fuel_cycles / 2500).max(10_000)
+    }
+
+    /// Shared run loop. `skip_ahead = false` is the per-cycle reference
+    /// stepper; `true` adds the event-driven layer: after a cycle in which
+    /// every live worker is blocked (memory wait, FIFO handshake, injected
+    /// stall) or deterministically burning state latency, jump straight to
+    /// the earliest cycle anything new can happen and bulk-credit the
+    /// skipped cycles to each worker under its current classification.
+    /// Wake-up candidates are outstanding memory completions, the ends of
+    /// multi-cycle states, timed fault-window boundaries, the watchdog
+    /// deadline, and the fuel limit — so statistics, error cycles, and
+    /// fault attribution stay exactly per-cycle-equivalent.
+    fn run_impl(&mut self, mem: &mut SimMemory, skip_ahead: bool) -> Result<SystemStats, HwError> {
+        let fuel = self.cfg.fuel_cycles;
+        let watchdog = self.watchdog_cycles();
+        let n_workers = self.workers.len();
         let mut cycle: u64 = 0;
         let mut last_progress: u64 = 0;
-        while cycle < self.cfg.fuel_cycles {
-            if self.workers.iter().all(|w| w.finished) {
+        let mut skipped_cycles: u64 = 0;
+        // Workers still running, in index order. Finished workers leave the
+        // per-cycle loop entirely; their join-wait idle time is credited in
+        // bulk from `finish_cycle` once the run completes.
+        let mut live: Vec<usize> = (0..n_workers).collect();
+        let mut finish_cycle: Vec<u64> = vec![0; n_workers];
+        let mut classes: Vec<StepOutcome> = vec![StepOutcome::Active; n_workers];
+        // Tracing scratch, allocated once and reused every traced cycle.
+        let mut queue_occ_before: Vec<u32> = vec![0; self.queues.len()];
+
+        while cycle < fuel {
+            if live.is_empty() {
                 break;
             }
+            if self.trace.is_some() {
+                for (qi, occ) in queue_occ_before.iter_mut().enumerate() {
+                    *occ = total_occupancy(&self.queues[qi]);
+                }
+            }
             let mut progressed = false;
-            let queue_occ_before: Vec<u32> = if self.trace.is_some() {
-                (0..self.queues.len()).map(|q| total_occupancy(&self.queues[q])).collect()
-            } else {
-                Vec::new()
-            };
-            let n_workers = self.workers.len();
-            for wi in 0..n_workers {
-                let before_busy = self.workers[wi].stats.busy;
-                let before_state = self.workers[wi].state;
-                let before_fin = self.workers[wi].finished;
-                if !self.workers[wi].finished {
-                    if let Some(plan) = &mut self.fault {
-                        if plan.stall_active(wi, n_workers, cycle) {
-                            // Clock-gated this cycle: the FSM holds its state.
-                            self.workers[wi].stats.idle += 1;
-                            continue;
-                        }
+            let mut li = 0;
+            while li < live.len() {
+                let wi = live[li];
+                if let Some(plan) = &mut self.fault {
+                    if plan.stall_active(wi, n_workers, cycle) {
+                        // Clock-gated this cycle: the FSM holds its state.
+                        self.workers[wi].stats.idle += 1;
+                        classes[wi] = StepOutcome::Frozen;
+                        li += 1;
+                        continue;
                     }
                 }
+                let before_busy = self.workers[wi].stats.busy;
+                let before_state = self.workers[wi].state;
                 let stepped = step_worker(
                     self.funcs[self.workers[wi].func],
                     &self.fsms[self.workers[wi].func],
@@ -373,17 +445,16 @@ impl<'m> HwSystem<'m> {
                     wi,
                     &mut self.fault,
                 );
-                if let Err(e) = stepped {
-                    return Err(match e {
-                        HwError::Fault { cycle, kind, .. } => {
-                            HwError::Fault { cycle, kind, detail: self.dump_state() }
-                        }
-                        other => other,
-                    });
+                match stepped {
+                    Ok(outcome) => classes[wi] = outcome,
+                    Err(HwError::Fault { cycle, kind, .. }) => {
+                        return Err(HwError::Fault { cycle, kind, detail: self.dump_state() });
+                    }
+                    Err(other) => return Err(other),
                 }
-                progressed |= self.workers[wi].stats.busy != before_busy;
+                let w = &self.workers[wi];
+                progressed |= w.stats.busy != before_busy;
                 if let Some(trace) = &mut self.trace {
-                    let w = &self.workers[wi];
                     if cycle == 0 || w.state != before_state {
                         trace.record(TraceEvent::State {
                             cycle,
@@ -391,9 +462,18 @@ impl<'m> HwSystem<'m> {
                             state: w.state as u32,
                         });
                     }
-                    if w.finished && !before_fin {
+                    if w.finished {
                         trace.record(TraceEvent::Finish { cycle, worker: wi as u32 });
                     }
+                }
+                if self.workers[wi].finished {
+                    finish_cycle[wi] = cycle;
+                    // Plain remove (not swap) keeps the remaining workers in
+                    // index order — evaluation order is architecturally
+                    // visible through FIFO handshakes.
+                    live.remove(li);
+                } else {
+                    li += 1;
                 }
             }
             if let Some(trace) = &mut self.trace {
@@ -410,23 +490,83 @@ impl<'m> HwSystem<'m> {
             }
             if progressed {
                 last_progress = cycle;
-            } else if cycle - last_progress > 200_000 {
-                let detail = self.dump_state();
-                // A lost beat can starve a consumer forever: attribute the
-                // hang to the injected corruption rather than to the design.
-                if self.fault.as_ref().is_some_and(FaultPlan::corruption_fired) {
-                    return Err(HwError::Fault { cycle, kind: FaultDetection::Hang, detail });
+            } else if cycle - last_progress > watchdog {
+                return Err(self.no_progress_error(cycle));
+            }
+            // An Active worker forces the very next cycle to be evaluated,
+            // so the skip machinery only engages on all-blocked/burning
+            // cycles — the common case pays one branch.
+            if skip_ahead
+                && !live.is_empty()
+                && !live.iter().any(|&wi| matches!(classes[wi], StepOutcome::Active))
+            {
+                // Earliest future cycle at which any worker can do anything
+                // other than repeat this cycle's stall/burn bookkeeping.
+                let mut wake = u64::MAX;
+                let mut any_burn = false;
+                for &wi in &live {
+                    match classes[wi] {
+                        StepOutcome::Active => unreachable!("gated above"),
+                        StepOutcome::MemWait { until } => wake = wake.min(until),
+                        StepOutcome::Burn { until } => {
+                            any_burn = true;
+                            wake = wake.min(until);
+                        }
+                        StepOutcome::Frozen | StepOutcome::FifoWait => {}
+                    }
                 }
-                return Err(HwError::Deadlock { cycle, detail });
+                if let Some(plan) = &self.fault {
+                    // A stall window opening or closing reclassifies a
+                    // worker (idle vs stall) and must be observed on cycle.
+                    wake = wake.min(plan.next_timed_boundary(cycle));
+                }
+                // Burning workers count as progress every cycle, so the
+                // watchdog deadline only binds when none burn.
+                let deadline = if any_burn {
+                    u64::MAX
+                } else {
+                    last_progress.saturating_add(watchdog).saturating_add(1)
+                };
+                if wake.min(deadline).min(fuel) > cycle + 1 {
+                    let (bulk, next_cycle) = if fuel <= wake && fuel <= deadline {
+                        // Fuel exhausts first: credit up to the last
+                        // simulated cycle, then exit with a timeout.
+                        (fuel - 1 - cycle, fuel)
+                    } else if deadline < wake {
+                        // The per-cycle stepper would have declared the
+                        // deadlock at exactly `deadline`.
+                        (deadline - cycle, deadline)
+                    } else {
+                        (wake - 1 - cycle, wake)
+                    };
+                    if bulk > 0 {
+                        self.bulk_credit(&live, &classes, bulk);
+                        skipped_cycles += bulk;
+                        if any_burn {
+                            last_progress = cycle + bulk;
+                        }
+                    }
+                    if deadline < wake && fuel > deadline {
+                        return Err(self.no_progress_error(deadline));
+                    }
+                    cycle = next_cycle;
+                    continue;
+                }
             }
             cycle += 1;
         }
-        if !self.workers.iter().all(|w| w.finished) {
+        if !live.is_empty() {
             if self.fault.as_ref().is_some_and(FaultPlan::corruption_fired) {
                 let detail = self.dump_state();
                 return Err(HwError::Fault { cycle, kind: FaultDetection::Hang, detail });
             }
             return Err(HwError::Timeout { cycle });
+        }
+        // Workers that finished early idled until the join; the last
+        // simulated cycle is `cycle - 1`.
+        let last = cycle.saturating_sub(1);
+        for (wi, w) in self.workers.iter_mut().enumerate() {
+            w.stats.idle += last - finish_cycle[wi];
         }
         // A duplicated beat that nobody pops survives to the join; flag it
         // instead of reporting a clean run.
@@ -445,7 +585,48 @@ impl<'m> HwSystem<'m> {
             workers: self.workers.iter().map(|w| w.stats).collect(),
             fifo_beats,
             cache: self.cache.stats,
+            skipped_cycles,
         })
+    }
+
+    /// Credit `k` skipped cycles to every live worker according to its
+    /// classification for the just-evaluated cycle — exactly what `k` more
+    /// iterations of the per-cycle stepper would have recorded, given that
+    /// no wake-up event lies inside the skipped window.
+    fn bulk_credit(&mut self, live: &[usize], classes: &[StepOutcome], k: u64) {
+        for &wi in live {
+            let w = &mut self.workers[wi];
+            match classes[wi] {
+                StepOutcome::Frozen => w.stats.idle += k,
+                StepOutcome::MemWait { .. } => w.stats.stall_mem += k,
+                StepOutcome::FifoWait => w.stats.stall_fifo += k,
+                StepOutcome::Burn { .. } => {
+                    w.stats.busy += k;
+                    // Consume beat-transfer cycles first, then `min_cycles`
+                    // down to 1, exactly as the per-cycle burn does. The
+                    // wake-up bound guarantees `k` never reaches the state
+                    // transition itself.
+                    let from_beats = k.min(u64::from(w.extra_wait));
+                    w.extra_wait -= from_beats as u32;
+                    let from_min = (k - from_beats) as u32;
+                    debug_assert!(w.min_left > from_min, "bulk burn crossed a state boundary");
+                    w.min_left -= from_min;
+                }
+                StepOutcome::Active => unreachable!("active workers are never skipped"),
+            }
+        }
+    }
+
+    /// The error the watchdog reports at `cycle`: a lost beat can starve a
+    /// consumer forever, so attribute the hang to injected corruption when
+    /// one fired, otherwise report a design deadlock.
+    fn no_progress_error(&self, cycle: u64) -> HwError {
+        let detail = self.dump_state();
+        if self.fault.as_ref().is_some_and(FaultPlan::corruption_fired) {
+            HwError::Fault { cycle, kind: FaultDetection::Hang, detail }
+        } else {
+            HwError::Deadlock { cycle, detail }
+        }
     }
 
     /// Total FIFO channels (for area accounting).
@@ -456,8 +637,37 @@ impl<'m> HwSystem<'m> {
 }
 
 /// Total beat occupancy of a queue set across channels.
+#[inline]
 fn total_occupancy(q: &QueueState) -> u32 {
     (0..q.channels()).map(|c| q.occupancy(c) as u32).sum()
+}
+
+/// How a worker spent one evaluated cycle. The event-driven engine uses
+/// this to decide whether (and how far) the whole system can skip ahead,
+/// and to bulk-credit the skipped cycles; the classification must mirror
+/// exactly what the per-cycle stepper would record for those cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StepOutcome {
+    /// Clock-gated by an injected stall window; accrues `idle`.
+    Frozen,
+    /// Waiting on a memory response arriving at `until`; accrues
+    /// `stall_mem` until then.
+    MemWait {
+        /// Cycle the response arrives.
+        until: u64,
+    },
+    /// Blocked on a FIFO handshake; accrues `stall_fifo` until another
+    /// worker moves the queue (which only happens on an evaluated cycle).
+    FifoWait,
+    /// Burning deterministic multi-cycle state latency (remaining
+    /// `min_cycles` or extra transfer beats); accrues `busy` and touches
+    /// no shared state until the transition at `until`.
+    Burn {
+        /// Cycle of the state transition.
+        until: u64,
+    },
+    /// Touched shared state or is mid-state; re-evaluate next cycle.
+    Active,
 }
 
 /// Advance one worker by one cycle.
@@ -480,11 +690,8 @@ fn step_worker(
     cycle: u64,
     wi: usize,
     fault: &mut Option<FaultPlan>,
-) -> Result<(), HwError> {
-    if w.finished {
-        w.stats.idle += 1;
-        return Ok(());
-    }
+) -> Result<StepOutcome, HwError> {
+    debug_assert!(!w.finished, "finished workers leave the live list");
     if !w.entered {
         w.entered = true;
         w.cursor = 0;
@@ -494,7 +701,7 @@ fn step_worker(
     if let Some(done) = w.mem_wait {
         if cycle < done {
             w.stats.stall_mem += 1;
-            return Ok(());
+            return Ok(StepOutcome::MemWait { until: done });
         }
         w.mem_wait = None; // data arrived; continue this cycle
     }
@@ -516,8 +723,9 @@ fn step_worker(
                 }
                 w.cursor += 1;
                 w.stats.busy += 1;
-                w.mem_wait = Some(done.max(cycle + 1));
-                return Ok(());
+                let until = done.max(cycle + 1);
+                w.mem_wait = Some(until);
+                return Ok(StepOutcome::MemWait { until });
             }
             Op::Store { .. } => {
                 // Store buffer: fire and forget; the access still occupies
@@ -530,7 +738,7 @@ fn step_worker(
                 match try_queue(func, w, iid, queues, cycle, wi, fault)? {
                     QueueOutcome::Blocked => {
                         w.stats.stall_fifo += 1;
-                        return Ok(());
+                        return Ok(StepOutcome::FifoWait);
                     }
                     QueueOutcome::Done { beats } => {
                         w.cursor += 1;
@@ -585,22 +793,33 @@ fn step_worker(
     w.stats.busy += 1;
     if w.extra_wait > 0 {
         w.extra_wait -= 1;
-        return Ok(());
+        return Ok(burn_outcome(w, cycle));
     }
     if w.min_left > 1 {
         w.min_left -= 1;
-        return Ok(());
+        return Ok(burn_outcome(w, cycle));
     }
     advance(func, fsm, w);
-    Ok(())
+    Ok(StepOutcome::Active)
 }
 
+/// The cycle at which a worker that has executed all of its state's ops
+/// will transition (pure busy burn until then): one cycle per remaining
+/// transfer beat, then `min_cycles` down to its final cycle.
+#[inline]
+fn burn_outcome(w: &Worker, cycle: u64) -> StepOutcome {
+    let left = u64::from(w.extra_wait) + u64::from(w.min_left.saturating_sub(1));
+    StepOutcome::Burn { until: cycle + left + 1 }
+}
+
+#[inline]
 fn getv(w: &Worker, v: ValueId) -> Value {
     w.vals[v.index()].expect("operand evaluated in schedule order")
 }
 
 /// Result register of a value-producing op, or [`HwError::Malformed`] when
 /// the instruction reached the datapath without one.
+#[inline]
 fn result_ix(func: &Function, inst: InstId, wi: usize) -> Result<usize, HwError> {
     let i = func.inst(inst);
     match i.result {
@@ -930,6 +1149,76 @@ mod tests {
         let s1 = b.finish().unwrap();
         let _ = n;
         (m, vec![s0, s1])
+    }
+
+    #[test]
+    fn engines_match_on_single_worker() {
+        let f = scale_fn();
+        let n = 64u32;
+        let mut mem_ev = SimMemory::new(1 << 16);
+        let base = mem_ev.alloc(4 * n, 4);
+        for i in 0..n {
+            mem_ev.write_f32(base + 4 * i, i as f32);
+        }
+        let mut mem_ref = mem_ev.clone();
+        let args = [Value::Ptr(base), Value::I32(n as i32)];
+
+        let mut ev = HwSystem::for_single(&f, &args, HwConfig::default());
+        let stats_ev = ev.run(&mut mem_ev).unwrap();
+        let mut rf = HwSystem::for_single(&f, &args, HwConfig::default());
+        let stats_rf = rf.run_reference(&mut mem_ref).unwrap();
+
+        assert_eq!(stats_ev.cycles, stats_rf.cycles);
+        assert_eq!(stats_ev.workers, stats_rf.workers);
+        assert_eq!(stats_ev.cache, stats_rf.cache);
+        assert_eq!(stats_ev.fifo_beats, stats_rf.fifo_beats);
+        assert_eq!(mem_ev.read_bytes(0, mem_ev.size()), mem_ref.read_bytes(0, mem_ref.size()));
+        // The event engine actually skipped something on this
+        // memory-latency-dominated loop; the reference never does.
+        assert!(stats_ev.skipped_cycles > 0);
+        assert_eq!(stats_rf.skipped_cycles, 0);
+    }
+
+    #[test]
+    fn engines_match_under_timing_faults() {
+        let f = scale_fn();
+        let n = 48u32;
+        let plan = FaultPlan::seeded(
+            &[
+                crate::fault::FaultClass::StallWorker,
+                crate::fault::FaultClass::MemLatencyBurst,
+                crate::fault::FaultClass::PortContention,
+            ],
+            7,
+        );
+        let mut mem_ev = SimMemory::new(1 << 16);
+        let base = mem_ev.alloc(4 * n, 4);
+        let mut mem_ref = mem_ev.clone();
+        let args = [Value::Ptr(base), Value::I32(n as i32)];
+
+        let mut ev = HwSystem::for_single(&f, &args, HwConfig::default());
+        ev.inject_faults(plan.clone());
+        let stats_ev = ev.run(&mut mem_ev).unwrap();
+        let mut rf = HwSystem::for_single(&f, &args, HwConfig::default());
+        rf.inject_faults(plan);
+        let stats_rf = rf.run_reference(&mut mem_ref).unwrap();
+
+        assert_eq!(stats_ev.cycles, stats_rf.cycles);
+        assert_eq!(stats_ev.workers, stats_rf.workers);
+        assert_eq!(ev.fault_plan().unwrap().fired(), rf.fault_plan().unwrap().fired());
+        assert_eq!(mem_ev.read_bytes(0, mem_ev.size()), mem_ref.read_bytes(0, mem_ref.size()));
+    }
+
+    #[test]
+    fn watchdog_scales_with_fuel() {
+        let f = scale_fn();
+        let mut mem = SimMemory::new(1 << 16);
+        let base = mem.alloc(4, 4);
+        let sys = HwSystem::for_single(&f, &[Value::Ptr(base), Value::I32(1)], HwConfig::default());
+        assert_eq!(sys.watchdog_cycles(), 200_000); // default fuel: 5e8 / 2500
+        let cfg = HwConfig { fuel_cycles: 1_000, ..HwConfig::default() };
+        let sys = HwSystem::for_single(&f, &[Value::Ptr(base), Value::I32(1)], cfg);
+        assert_eq!(sys.watchdog_cycles(), 10_000); // floored
     }
 
     #[test]

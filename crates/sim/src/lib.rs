@@ -35,7 +35,7 @@ pub use cache::{CacheConfig, CacheSystem};
 pub use diff::{diff_memories, render_diffs, WordDiff};
 pub use fault::{Corruption, FaultClass, FaultDetection, FaultKind, FaultPlan};
 pub use fifo::QueueState;
-pub use hw::{HwConfig, HwError, HwSystem};
+pub use hw::{HwConfig, HwError, HwSystem, SimEngine};
 pub use interp::{run_function, run_with_accelerator, ExecHooks, InterpError, NoHooks};
 pub use mem::SimMemory;
 pub use mips::{MipsConfig, MipsRun};

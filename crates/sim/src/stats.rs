@@ -47,6 +47,10 @@ pub struct SystemStats {
     pub fifo_beats: u64,
     /// Cache statistics.
     pub cache: CacheStats,
+    /// Cycles the event-driven engine bulk-credited instead of evaluating
+    /// (0 under the per-cycle reference stepper). Diagnostic only: every
+    /// other field is engine-independent, this one is not.
+    pub skipped_cycles: u64,
 }
 
 impl SystemStats {
