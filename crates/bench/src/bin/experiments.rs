@@ -1,29 +1,44 @@
 //! Regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! experiments [table2|fig4|table3|tradeoff|scalability|ablation|topology|bench|all]
+//! experiments [table2|fig4|table3|tradeoff|scalability|ablation|topology|profile|bench|all]
 //!             [--quick] [--csv <dir>] [--json] [--label <name>]
 //! ```
 //!
 //! `--csv <dir>` additionally writes machine-readable CSV files per
 //! experiment for downstream plotting.
 //!
+//! `profile` renders each kernel's bottleneck report (per-stage
+//! utilization, queue occupancy, memory pressure, and the limiting
+//! resource); with `--json` it writes `PROFILE_<label>.json`.
+//!
 //! `bench` measures the harness itself: per-kernel wall-clock compile and
 //! simulation time under both simulation engines (event-driven scheduler vs
-//! per-cycle reference), simulated cycles, and speedup over LegUp. With
-//! `--json` it writes `BENCH_<label>.json` (label from `--label`, the
+//! per-cycle reference), simulated cycles, and speedup over LegUp, plus a
+//! profile-guided-tuning comparison in the memory-latency-dominated regime.
+//! With `--json` it writes `BENCH_<label>.json` (label from `--label`, the
 //! `BENCH_LABEL` env var, or the current git short SHA) for regression
 //! tracking; compare against the committed `BENCH_baseline.json`.
 
 use cgpa::compiler::{CgpaCompiler, CgpaConfig};
 use cgpa::report::{geomean, BenchmarkReport};
 use cgpa_bench::{bench_kernels, full_report, scalability_sweep, KernelSet};
+use std::borrow::Cow;
 use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::time::Instant;
 
 thread_local! {
     static CSV_DIR: RefCell<Option<std::path::PathBuf>> = const { RefCell::new(None) };
+}
+
+/// Display form of a geomean: the value, or "n/a" when no entry was
+/// positive (a degraded run can zero out a whole column).
+fn gm(values: &[f64]) -> Cow<'static, str> {
+    match geomean(values) {
+        Some(g) => Cow::Owned(format!("{g:.2}")),
+        None => Cow::Borrowed("n/a"),
+    }
 }
 
 /// Write a CSV file into the `--csv` directory, if one was given.
@@ -71,6 +86,7 @@ fn main() {
 
     match which.as_str() {
         "bench" => bench(set, args.iter().any(|a| a == "--json"), &bench_label(&args)),
+        "profile" => profile_cmd(set, args.iter().any(|a| a == "--json"), &bench_label(&args)),
         "table2" => table2(set),
         "fig4" => fig4(set),
         "table3" => table3(set),
@@ -90,7 +106,7 @@ fn main() {
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: experiments [table2|fig4|table3|tradeoff|scalability|ablation|topology|bench|all] [--quick] [--csv <dir>] [--json] [--label <name>]"
+                "usage: experiments [table2|fig4|table3|tradeoff|scalability|ablation|topology|profile|bench|all] [--quick] [--csv <dir>] [--json] [--label <name>]"
             );
             std::process::exit(2);
         }
@@ -165,6 +181,18 @@ struct BenchEntry {
     /// Simulated cycles of the high-miss-latency run (identical under both
     /// engines, asserted).
     himem_cycles: u64,
+    /// CGPA(P1) cycles under the default configuration in the himem regime
+    /// (the tuner's baseline).
+    himem_cgpa_cycles: u64,
+    /// CGPA(P1) cycles after profile-guided auto-tuning in the himem
+    /// regime.
+    himem_tuned_cycles: u64,
+    /// Worker count the tuner settled on.
+    tuned_workers: u32,
+    /// FIFO depth (beats) the tuner settled on.
+    tuned_fifo_depth_beats: usize,
+    /// Bottleneck verdict of the tuned configuration.
+    tuned_bottleneck: String,
 }
 
 impl BenchEntry {
@@ -191,12 +219,20 @@ impl BenchEntry {
     fn speedup_vs_legup(&self) -> f64 {
         self.legup_cycles as f64 / self.cgpa_cycles.max(1) as f64
     }
+
+    /// Simulated-cycle speedup of the auto-tuned configuration over the
+    /// default one, in the memory-latency-dominated regime.
+    fn tuned_speedup(&self) -> f64 {
+        self.himem_cgpa_cycles as f64 / self.himem_tuned_cycles.max(1) as f64
+    }
 }
 
 /// Harness self-benchmark: wall-clock compile+sim per kernel under both
 /// simulation engines, plus simulated cycles and speedup over LegUp.
 fn bench(set: KernelSet, json: bool, label: &str) {
-    use cgpa::flows::{run_compiled_tuned, run_legup_engine, HwTuning};
+    use cgpa::flows::{
+        run_cgpa_tuned_auto, run_compiled_tuned, run_legup_engine, HwTuning, TUNE_MIN_GAIN,
+    };
     use cgpa_sim::cache::CacheConfig;
     use cgpa_sim::{HwConfig, HwSystem, SimEngine};
 
@@ -280,6 +316,20 @@ fn bench(set: KernelSet, json: bool, label: &str) {
             let (himem_ms_reference, himem_cyc_ref) = timed_himem(SimEngine::PerCycle);
             assert_eq!(himem_cyc_ev, himem_cyc_ref, "{}: himem engines disagree", k.name);
 
+            // Profile-guided tuning in the same memory-starved regime: the
+            // tuner's first step runs the default configuration, so its
+            // `baseline_cycles` IS `run_cgpa` under this tuning.
+            let himem_tuning = HwTuning {
+                miss_latency: HIMEM_MISS_LATENCY,
+                cache_lines: HIMEM_CACHE_LINES,
+                ..HwTuning::default()
+            };
+            let tuned =
+                run_cgpa_tuned_auto(k, cfg, himem_tuning, TUNE_MIN_GAIN).unwrap_or_else(|e| {
+                    eprintln!("{}: auto-tune failed: {e}", k.name);
+                    std::process::exit(1);
+                });
+
             let skipped = legup_ev.stats.as_ref().map_or(0, |s| s.skipped_cycles)
                 + cgpa_ev.stats.as_ref().map_or(0, |s| s.skipped_cycles);
             let e = BenchEntry {
@@ -293,6 +343,11 @@ fn bench(set: KernelSet, json: bool, label: &str) {
                 himem_ms_event,
                 himem_ms_reference,
                 himem_cycles: himem_cyc_ev,
+                himem_cgpa_cycles: tuned.baseline_cycles,
+                himem_tuned_cycles: tuned.best.result.cycles,
+                tuned_workers: tuned.best.profile.workers,
+                tuned_fifo_depth_beats: tuned.best.profile.fifo_depth_beats,
+                tuned_bottleneck: tuned.best.profile.bottleneck_summary(),
             };
             println!(
                 "{:<14} {:>8.1}ms {:>8.1}ms {:>8.1}ms {:>8.2}x {:>8.2}x {:>12} {:>12} {:>8.2}x",
@@ -310,12 +365,33 @@ fn bench(set: KernelSet, json: bool, label: &str) {
         })
         .collect();
     let total_wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    println!();
+    println!(
+        "== Profile-guided tuning at {HIMEM_MISS_LATENCY}-cycle misses, \
+         {HIMEM_CACHE_LINES}-line cache (CGPA P1) =="
+    );
+    println!(
+        "{:<14} {:>12} {:>12} {:>8} {:>8} {:>6}  bottleneck",
+        "benchmark", "default cyc", "tuned cyc", "speedup", "workers", "fifo"
+    );
+    for e in &entries {
+        println!(
+            "{:<14} {:>12} {:>12} {:>7.2}x {:>8} {:>6}  {}",
+            e.name,
+            e.himem_cgpa_cycles,
+            e.himem_tuned_cycles,
+            e.tuned_speedup(),
+            e.tuned_workers,
+            e.tuned_fifo_depth_beats,
+            e.tuned_bottleneck
+        );
+    }
     let speedups: Vec<f64> = entries.iter().map(BenchEntry::engine_speedup).collect();
     let himem: Vec<f64> = entries.iter().map(BenchEntry::himem_engine_speedup).collect();
     println!(
-        "total {total_wall_ms:.1}ms; engine speedup geomean {:.2}x default, {:.2}x at {HIMEM_MISS_LATENCY}-cycle misses",
-        geomean(&speedups),
-        geomean(&himem)
+        "total {total_wall_ms:.1}ms; engine speedup geomean {}x default, {}x at {HIMEM_MISS_LATENCY}-cycle misses",
+        gm(&speedups),
+        gm(&himem)
     );
     println!();
 
@@ -351,12 +427,71 @@ fn bench_json(label: &str, set: KernelSet, entries: &[BenchEntry], total_wall_ms
         let _ = writeln!(out, "      \"himem_sim_ms_reference\": {:.3},", e.himem_ms_reference);
         let _ = writeln!(out, "      \"himem_engine_speedup\": {:.3},", e.himem_engine_speedup());
         let _ = writeln!(out, "      \"himem_cycles\": {},", e.himem_cycles);
+        let _ = writeln!(out, "      \"himem_cgpa_cycles\": {},", e.himem_cgpa_cycles);
+        let _ = writeln!(out, "      \"himem_tuned_cycles\": {},", e.himem_tuned_cycles);
+        let _ = writeln!(out, "      \"himem_tuned_speedup\": {:.4},", e.tuned_speedup());
+        let _ = writeln!(out, "      \"tuned_workers\": {},", e.tuned_workers);
+        let _ = writeln!(out, "      \"tuned_fifo_depth_beats\": {},", e.tuned_fifo_depth_beats);
         let _ = writeln!(out, "      \"speedup_vs_legup\": {:.4}", e.speedup_vs_legup());
         let _ = writeln!(out, "    }}{}", if i + 1 < entries.len() { "," } else { "" });
     }
     let _ = writeln!(out, "  ]");
     let _ = writeln!(out, "}}");
     out
+}
+
+/// Per-kernel bottleneck report: compile each kernel as CGPA(P1), run it,
+/// and render the stage/queue/memory profile with the limiting-resource
+/// verdict. With `json`, also write `PROFILE_<label>.json`.
+fn profile_cmd(set: KernelSet, json: bool, label: &str) {
+    use cgpa::flows::{run_cgpa_profiled, HwTuning};
+
+    println!("== Profile: per-kernel bottleneck report (CGPA P1, default tuning) ==");
+    let kernels = bench_kernels(set, 42);
+    let mut profiles = Vec::new();
+    let mut csv_rows: Vec<String> = Vec::new();
+    for k in &kernels {
+        match run_cgpa_profiled(k, CgpaConfig::default(), HwTuning::default()) {
+            Ok(run) => {
+                print!("{}", run.profile.render());
+                csv_rows.push(format!(
+                    "{},{},{},{:.4}",
+                    k.name,
+                    run.profile.bottleneck.tag(),
+                    run.profile.cycles,
+                    run.profile.stages.iter().map(|s| s.utilization).fold(0.0f64, f64::max)
+                ));
+                profiles.push(run.profile);
+            }
+            Err(e) => println!("{}: failed: {e}", k.name),
+        }
+    }
+    println!();
+    write_csv("profile", "benchmark,bottleneck,cycles,max_stage_utilization", &csv_rows);
+    if json {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"label\": \"{label}\",");
+        let _ = writeln!(
+            out,
+            "  \"set\": \"{}\",",
+            if set == KernelSet::Quick { "quick" } else { "full" }
+        );
+        let _ = writeln!(out, "  \"profiles\": [");
+        for (i, p) in profiles.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {}{}",
+                p.to_json(),
+                if i + 1 < profiles.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        let path = format!("PROFILE_{label}.json");
+        std::fs::write(&path, out).expect("write profile json");
+        eprintln!("wrote {path}");
+    }
 }
 
 fn run_suite(set: KernelSet) -> Vec<BenchmarkReport> {
@@ -412,13 +547,7 @@ fn fig4_from(reports: &[BenchmarkReport]) {
         cgpa.push(c);
         ratio.push(r.cgpa_over_legup());
     }
-    println!(
-        "{:<14} {:>11.2}x {:>11.2}x {:>13.2}x",
-        "GeoMean",
-        geomean(&legup),
-        geomean(&cgpa),
-        geomean(&ratio)
-    );
+    println!("{:<14} {:>11}x {:>11}x {:>13}x", "GeoMean", gm(&legup), gm(&cgpa), gm(&ratio));
     println!("paper:         LegUp 1.85x geomean; CGPA 6.0x geomean; CGPA/LegUp 3.3x (3.0-3.8x)");
     println!();
     let rows: Vec<String> = reports
@@ -473,9 +602,9 @@ fn table3_from(reports: &[BenchmarkReport]) {
         alut_ratios.push(r.alut_ratio());
     }
     println!(
-        "geomean CGPA(P1)/LegUp: ALUT {:.2}x (paper ~4.1x), energy {:.2}x (paper ~1.2x)",
-        geomean(&alut_ratios),
-        geomean(&overheads)
+        "geomean CGPA(P1)/LegUp: ALUT {}x (paper ~4.1x), energy {}x (paper ~1.2x)",
+        gm(&alut_ratios),
+        gm(&overheads)
     );
     println!();
     let mut rows: Vec<String> = Vec::new();

@@ -13,6 +13,7 @@ use crate::compiler::{
     CgpaCompiler, CgpaConfig, CompileError, Compiled, DegradationPolicy, DegradationRung,
     DegradedCompile,
 };
+use crate::profile::{Bottleneck, Profile};
 use cgpa_kernels::BuiltKernel;
 use cgpa_pipeline::StageKind;
 use cgpa_rtl::area::{estimate_area, fifo_area, AreaModel, AreaReport};
@@ -169,6 +170,10 @@ pub struct HwTuning {
     pub fifo_depth_beats: usize,
     /// Cache miss latency in cycles.
     pub miss_latency: u32,
+    /// D-cache lines (shrinking this below the working set makes a run
+    /// memory-latency-dominated — the regime the profile-guided tuner is
+    /// exercised in).
+    pub cache_lines: u32,
     /// Simulation engine (event-driven scheduler vs per-cycle reference).
     /// Cycle counts and statistics are identical either way; only wall-clock
     /// time differs.
@@ -180,6 +185,7 @@ impl Default for HwTuning {
         HwTuning {
             fifo_depth_beats: 16,
             miss_latency: CacheConfig::default().miss_latency,
+            cache_lines: CacheConfig::default().lines,
             engine: SimEngine::default(),
         }
     }
@@ -255,6 +261,7 @@ fn run_compiled_impl(
         cache: CacheConfig {
             banks: worker_count.clamp(1, 8),
             miss_latency: tuning.miss_latency,
+            lines: tuning.cache_lines,
             ..CacheConfig::default()
         },
         fifo_depth_beats: tuning.fifo_depth_beats,
@@ -381,6 +388,160 @@ pub fn run_cgpa_with_faults_tuned(
     Ok((r, plan_out.unwrap_or(plan)))
 }
 
+/// A pipeline run paired with its bottleneck profile.
+#[derive(Debug, Clone)]
+pub struct ProfiledRun {
+    /// The run (cycles, area, power, stats).
+    pub result: RunResult,
+    /// Stage/queue/memory rollup naming the limiting resource.
+    pub profile: Profile,
+}
+
+/// [`run_cgpa_tuned`] plus a [`Profile`] built from the run's statistics.
+///
+/// Profiles are engine-independent: both simulation engines fill the stall
+/// buckets identically, so the same profile comes back either way.
+///
+/// # Errors
+/// See [`FlowError`].
+pub fn run_cgpa_profiled(
+    k: &BuiltKernel,
+    config: CgpaConfig,
+    tuning: HwTuning,
+) -> Result<ProfiledRun, FlowError> {
+    let compiler = CgpaCompiler::new(config);
+    let compiled = compiler.compile(&k.func, &k.model)?;
+    let result = run_compiled_tuned(k, &compiled, config, tuning)?;
+    let stats = result.stats.as_ref().expect("pipeline runs capture stats");
+    let profile =
+        Profile::from_stats(&k.name, &result.config, &compiled, stats, tuning.fifo_depth_beats);
+    Ok(ProfiledRun { result, profile })
+}
+
+/// Default marginal-speedup threshold for [`run_cgpa_tuned_auto`]: stop
+/// when a step improves cycles by less than 2%.
+pub const TUNE_MIN_GAIN: f64 = 0.02;
+
+/// Iteration cap for the tuner (each step doubles one knob, so 6 steps
+/// already cover a 64× range).
+const TUNE_MAX_ITERS: usize = 6;
+/// Parallel-stage worker ceiling (power of two; 8 cache ports of §4.1 plus
+/// one doubling of headroom).
+const TUNE_MAX_WORKERS: u32 = 16;
+/// FIFO depth ceiling in beats per channel.
+const TUNE_MAX_FIFO_DEPTH: usize = 256;
+
+/// One compile→run→profile iteration of the tuner.
+#[derive(Debug, Clone)]
+pub struct TuneStep {
+    /// Parallel-stage worker count of this step.
+    pub workers: u32,
+    /// FIFO depth of this step.
+    pub fifo_depth_beats: usize,
+    /// Measured kernel cycles.
+    pub cycles: u64,
+    /// This step's bottleneck verdict.
+    pub bottleneck: String,
+    /// Whether the step improved on the best-so-far by at least the
+    /// threshold (the first step is always accepted as the baseline).
+    pub accepted: bool,
+}
+
+/// The tuner's final configuration and its search trace.
+#[derive(Debug, Clone)]
+pub struct TuneOutcome {
+    /// Best run found (with its profile).
+    pub best: ProfiledRun,
+    /// Cycles of the starting configuration (the un-tuned baseline).
+    pub baseline_cycles: u64,
+    /// Every step tried, in order.
+    pub steps: Vec<TuneStep>,
+}
+
+impl TuneOutcome {
+    /// Baseline cycles over best cycles (1.0 = the tuner found nothing).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.baseline_cycles as f64 / self.best.result.cycles as f64
+    }
+}
+
+/// Profile-guided auto-tuner: iterate compile→run→profile, doubling the
+/// knob the bottleneck verdict indicts — parallel-stage workers for a
+/// saturated parallel stage or a latency-bound memory port (more ports,
+/// more outstanding misses), FIFO depth for a full queue — until a step
+/// improves cycles by less than `min_gain` (see [`TUNE_MIN_GAIN`]) or the
+/// bottleneck is one no knob addresses (a saturated sequential stage, a
+/// conflict-bound memory port).
+///
+/// # Errors
+/// See [`FlowError`]. Every candidate run is verified against the
+/// functional reference, exactly like [`run_cgpa`].
+pub fn run_cgpa_tuned_auto(
+    k: &BuiltKernel,
+    config: CgpaConfig,
+    tuning: HwTuning,
+    min_gain: f64,
+) -> Result<TuneOutcome, FlowError> {
+    let mut config = config;
+    let mut tuning = tuning;
+    let mut steps: Vec<TuneStep> = Vec::new();
+    let mut best: Option<ProfiledRun> = None;
+    let mut baseline_cycles = 0u64;
+    for _ in 0..TUNE_MAX_ITERS {
+        let run = run_cgpa_profiled(k, config, tuning)?;
+        let cycles = run.result.cycles;
+        let accepted = match &best {
+            None => {
+                baseline_cycles = cycles;
+                true
+            }
+            Some(b) => (cycles as f64) < b.result.cycles as f64 * (1.0 - min_gain),
+        };
+        steps.push(TuneStep {
+            workers: config.workers,
+            fifo_depth_beats: tuning.fifo_depth_beats,
+            cycles,
+            bottleneck: run.profile.bottleneck_summary(),
+            accepted,
+        });
+        if accepted {
+            best = Some(run);
+        } else {
+            break; // marginal speedup below threshold: stop climbing
+        }
+        let p = &best.as_ref().expect("just accepted").profile;
+        let has_parallel_stage = p.stages.iter().any(|s| s.parallel);
+        let adjusted = match &p.bottleneck {
+            Bottleneck::QueueFull { .. } if tuning.fifo_depth_beats < TUNE_MAX_FIFO_DEPTH => {
+                tuning.fifo_depth_beats *= 2;
+                true
+            }
+            Bottleneck::Stage { stage, .. } => {
+                let saturated = p.stages.iter().find(|s| s.stage == *stage).expect("stage");
+                if saturated.parallel && config.workers < TUNE_MAX_WORKERS {
+                    config.workers *= 2; // stays a power of two
+                    true
+                } else {
+                    false // a sequential stage cannot be scaled
+                }
+            }
+            Bottleneck::MemoryPort { latency_bound: true, .. }
+                if has_parallel_stage && config.workers < TUNE_MAX_WORKERS =>
+            {
+                // More workers = more ports = more misses in flight.
+                config.workers *= 2;
+                true
+            }
+            _ => false, // conflict-bound memory, or every knob at its cap
+        };
+        if !adjusted {
+            break;
+        }
+    }
+    Ok(TuneOutcome { best: best.expect("first step always accepted"), baseline_cycles, steps })
+}
+
 /// Compile with the graceful-degradation ladder and run whatever rung the
 /// compile lands on (paper-shaped pipeline when possible, LegUp-style
 /// sequential accelerator as the last rung).
@@ -459,6 +620,48 @@ mod tests {
         // Power and energy populated.
         assert!(cgpa.power_mw > legup.power_mw);
         assert!(legup.energy_uj > 0.0);
+    }
+
+    #[test]
+    fn profile_is_engine_independent_and_names_a_bottleneck() {
+        let k = small_em3d();
+        let ev = run_cgpa_profiled(&k, CgpaConfig::default(), HwTuning::default()).unwrap();
+        let rf = run_cgpa_profiled(
+            &k,
+            CgpaConfig::default(),
+            HwTuning { engine: SimEngine::PerCycle, ..HwTuning::default() },
+        )
+        .unwrap();
+        assert_eq!(ev.profile, rf.profile);
+        assert!(!ev.profile.stages.is_empty());
+        for s in &ev.profile.stages {
+            assert!((0.0..=1.0).contains(&s.utilization), "{s:?}");
+        }
+        assert!(!ev.profile.bottleneck_summary().is_empty());
+        // Every worker-cycle is attributed to exactly one bucket.
+        let stats = ev.result.stats.as_ref().unwrap();
+        for w in &stats.workers {
+            assert_eq!(w.total(), stats.cycles);
+        }
+    }
+
+    #[test]
+    fn tuner_improves_a_memory_latency_dominated_config() {
+        let k = small_em3d();
+        // Two cache lines + 400-cycle misses: every access essentially goes
+        // to DRAM, so the profile indicts the memory port and the tuner
+        // scales workers to get more misses in flight.
+        let himem = HwTuning { miss_latency: 400, cache_lines: 2, ..HwTuning::default() };
+        let base = CgpaConfig { workers: 2, ..CgpaConfig::default() };
+        let outcome = run_cgpa_tuned_auto(&k, base, himem, TUNE_MIN_GAIN).unwrap();
+        assert!(
+            outcome.best.result.cycles < outcome.baseline_cycles,
+            "tuner found nothing: baseline {} vs best {}",
+            outcome.baseline_cycles,
+            outcome.best.result.cycles
+        );
+        assert!(outcome.steps.len() >= 2);
+        assert!(outcome.speedup() > 1.0);
     }
 
     #[test]

@@ -50,15 +50,28 @@ impl BenchmarkReport {
     }
 }
 
-/// Geometric mean of a (non-empty) slice of positive values.
+/// Geometric mean of the positive, finite entries of `values`.
 ///
-/// # Panics
-/// Panics on an empty slice.
+/// Returns `None` when no entry qualifies (empty input, or every value is
+/// zero/negative/non-finite — reachable when a degraded `seq-fallback`
+/// rung yields a failed or zero-cycle row). Non-positive entries are
+/// skipped with a warning on stderr rather than poisoning the mean with a
+/// NaN.
 #[must_use]
-pub fn geomean(values: &[f64]) -> f64 {
-    assert!(!values.is_empty(), "geomean of nothing");
-    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
-    (log_sum / values.len() as f64).exp()
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    let usable: Vec<f64> = values.iter().copied().filter(|v| *v > 0.0 && v.is_finite()).collect();
+    if usable.len() < values.len() {
+        eprintln!(
+            "warning: geomean skipped {} non-positive value(s) of {}",
+            values.len() - usable.len(),
+            values.len()
+        );
+    }
+    if usable.is_empty() {
+        return None;
+    }
+    let log_sum: f64 = usable.iter().map(|v| v.ln()).sum();
+    Some((log_sum / usable.len() as f64).exp())
 }
 
 #[cfg(test)]
@@ -97,14 +110,16 @@ mod tests {
 
     #[test]
     fn geomean_matches_by_hand() {
-        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
-        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]).unwrap() - 3.0).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "geomean of nothing")]
-    fn geomean_rejects_empty() {
-        let _ = geomean(&[]);
+    fn geomean_is_total() {
+        assert_eq!(geomean(&[]), None);
+        assert_eq!(geomean(&[0.0, -2.0, f64::NAN]), None);
+        // Non-positive values are skipped, not propagated as NaN.
+        assert!((geomean(&[2.0, 8.0, 0.0]).unwrap() - 4.0).abs() < 1e-12);
     }
 }
 

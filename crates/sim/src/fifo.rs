@@ -58,15 +58,27 @@ pub struct QueueState {
     push_seq: Vec<u32>,
     /// Expected sequence tag per channel (pop side).
     pop_seq: Vec<u32>,
-    /// Total beats pushed (for power accounting).
+    /// Total beats pushed (for power accounting). Includes duplicated-beat
+    /// latch-ups: an injected duplicate re-writes a slot, which is a beat
+    /// transfer the accounting must see, or pop counts drift ahead of push
+    /// counts under fault plans.
     pub beats_pushed: u64,
     /// Total beats popped.
     pub beats_popped: u64,
+    /// Beats lost to injected drop faults (pushed, then removed before any
+    /// consumer could pop them).
+    pub beats_dropped: u64,
     /// Total elements pushed across channels (fault-injection trigger
     /// ordinal).
     pub elems_pushed: u64,
     /// Peak occupancy in beats over all channels.
     pub peak_beats: usize,
+    /// Time-weighted occupancy histogram per channel, filled by
+    /// [`sample_occupancy`](QueueState::sample_occupancy):
+    /// `occ_hist[c][b]` = cycles channel `c` held exactly `b` beats. The
+    /// last bucket (`depth_beats + 1`) saturates — a duplicate latch-up can
+    /// exceed the nominal depth by one beat.
+    occ_hist: Vec<Vec<u64>>,
 }
 
 impl QueueState {
@@ -83,9 +95,53 @@ impl QueueState {
             pop_seq: vec![0; info.channels as usize],
             beats_pushed: 0,
             beats_popped: 0,
+            beats_dropped: 0,
             elems_pushed: 0,
             peak_beats: 0,
+            occ_hist: vec![vec![0; depth_beats + 2]; info.channels as usize],
         }
+    }
+
+    /// Credit `weight` cycles at each channel's current occupancy in the
+    /// time-weighted histogram. The simulator calls this once per evaluated
+    /// cycle (weight 1) and once per skipped window (weight = window
+    /// length): occupancies cannot change while every worker is blocked, so
+    /// both engines fill identical histograms.
+    pub fn sample_occupancy(&mut self, weight: u64) {
+        for (c, chan) in self.channels.iter().enumerate() {
+            let bucket = chan.len().min(self.depth_beats + 1);
+            self.occ_hist[c][bucket] += weight;
+        }
+    }
+
+    /// The per-channel time-weighted occupancy histograms.
+    #[must_use]
+    pub fn occupancy_hist(&self) -> &[Vec<u64>] {
+        &self.occ_hist
+    }
+
+    /// Snapshot the accounting state as a [`QueueStats`] record.
+    #[must_use]
+    pub fn stats(&self) -> crate::stats::QueueStats {
+        crate::stats::QueueStats {
+            name: self.name.clone(),
+            depth_beats: self.depth_beats as u32,
+            elem_beats: self.elem_beats() as u32,
+            beats_pushed: self.beats_pushed,
+            beats_popped: self.beats_popped,
+            beats_dropped: self.beats_dropped,
+            peak_beats: self.peak_beats as u32,
+            occupancy_hist: self.occ_hist.clone(),
+        }
+    }
+
+    /// Record that one beat landed in channel `c`: every mutation that
+    /// grows a channel — normal pushes and injected duplicate latch-ups
+    /// alike — goes through here so beat counts and peak occupancy never
+    /// drift from the channel contents.
+    fn account_pushed_beat(&mut self, c: usize) {
+        self.beats_pushed += 1;
+        self.peak_beats = self.peak_beats.max(self.channels[c].len());
     }
 
     /// Number of channels.
@@ -131,11 +187,9 @@ impl QueueState {
             let seq = self.push_seq[c];
             self.push_seq[c] = seq.wrapping_add(1);
             self.channels[c].push_back(Beat { data, parity: parity_of(data), seq });
+            self.account_pushed_beat(c);
         }
-        self.beats_pushed += self.elem_beats() as u64;
         self.elems_pushed += 1;
-        let occ = self.channels[c].len();
-        self.peak_beats = self.peak_beats.max(occ);
     }
 
     /// Broadcast one element to all channels.
@@ -216,19 +270,30 @@ impl QueueState {
 
     /// Drop the most recently pushed beat on channel `c` (the push-side
     /// sequence counter keeps its advance, so the loss is a tag gap).
-    /// Returns false if the channel is empty.
+    /// The lost beat is recorded in [`beats_dropped`](QueueState): it was
+    /// counted as pushed but will never be popped. Returns false if the
+    /// channel is empty.
     pub fn drop_tail_beat(&mut self, c: usize) -> bool {
-        self.channels[c].pop_back().is_some()
+        match self.channels[c].pop_back() {
+            Some(_) => {
+                self.beats_dropped += 1;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Latch the most recently pushed beat on channel `c` a second time
     /// (same payload, same sequence tag). May exceed `depth_beats` by one
-    /// beat — a latch-up, not a handshake. Returns false if the channel is
-    /// empty.
+    /// beat — a latch-up, not a handshake. The extra slot write goes
+    /// through beat accounting: it will eventually be popped (or flagged
+    /// undrained), so push counts and peak occupancy must include it.
+    /// Returns false if the channel is empty.
     pub fn dup_tail_beat(&mut self, c: usize) -> bool {
         match self.channels[c].back().copied() {
             Some(b) => {
                 self.channels[c].push_back(b);
+                self.account_pushed_beat(c);
                 true
             }
             None => false,
@@ -438,6 +503,63 @@ mod tests {
         qs.dup_tail_beat(0);
         assert_eq!(qs.pop_checked(0, 0).unwrap(), Value::I32(1));
         assert!(matches!(qs.pop_checked(0, 0), Err(FaultDetection::SequenceRepeat { got: 0, .. })));
+    }
+
+    #[test]
+    fn dup_tail_beat_goes_through_beat_accounting() {
+        // Fill the channel completely, then latch the tail beat a second
+        // time: the latch-up must be visible in both the push count and the
+        // peak occupancy (it exceeds the nominal depth by one beat).
+        let mut qs = q(Ty::I32, 1);
+        for i in 0..16 {
+            qs.push(0, Value::I32(i));
+        }
+        assert_eq!(qs.beats_pushed, 16);
+        assert_eq!(qs.peak_beats, 16);
+        assert!(qs.dup_tail_beat(0));
+        assert_eq!(qs.beats_pushed, 17, "duplicate latch-up must count as a pushed beat");
+        assert_eq!(qs.peak_beats, 17, "latch-up peak exceeds the nominal depth");
+        assert_eq!(qs.occupancy(0), 17);
+        // Drain: 16 clean pops, then the duplicate trips sequence-repeat.
+        // Every popped beat is accounted, so push/pop counters agree about
+        // how many beats actually moved.
+        for _ in 0..16 {
+            let _ = qs.pop_checked(0, 0).unwrap();
+        }
+        assert_eq!(qs.beats_popped, 16);
+        assert!(matches!(qs.pop_checked(0, 0), Err(FaultDetection::SequenceRepeat { .. })));
+    }
+
+    #[test]
+    fn drop_tail_beat_is_recorded_as_dropped() {
+        let mut qs = q(Ty::I32, 1);
+        qs.push(0, Value::I32(1));
+        qs.push(0, Value::I32(2));
+        assert!(qs.drop_tail_beat(0));
+        assert_eq!(qs.beats_dropped, 1);
+        assert_eq!(qs.beats_pushed, 2);
+        assert_eq!(qs.occupancy(0), 1);
+        // Nothing dropped from an empty channel.
+        let mut empty = q(Ty::I32, 1);
+        assert!(!empty.drop_tail_beat(0));
+        assert_eq!(empty.beats_dropped, 0);
+    }
+
+    #[test]
+    fn occupancy_histogram_is_time_weighted() {
+        let mut qs = q(Ty::I32, 2);
+        qs.sample_occupancy(3); // both channels empty
+        qs.push(0, Value::I32(1));
+        qs.sample_occupancy(2); // channel 0 at 1 beat, channel 1 empty
+        let hist = qs.occupancy_hist();
+        assert_eq!(hist[0][0], 3);
+        assert_eq!(hist[0][1], 2);
+        assert_eq!(hist[1][0], 5);
+        let stats = qs.stats();
+        assert_eq!(stats.occupancy_hist, hist.to_vec());
+        assert_eq!(stats.beats_pushed, 1);
+        assert_eq!(stats.depth_beats, 16);
+        assert_eq!(stats.elem_beats, 1);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::fault::{FaultDetection, FaultPlan};
 use crate::fifo::QueueState;
 use crate::mem::SimMemory;
 use crate::stats::{SystemStats, WorkerStats};
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::{StallCause, Trace, TraceEvent};
 use crate::value::Value;
 use cgpa_ir::{Function, InstId, Module, Op, ValueId};
 use cgpa_pipeline::{PipelineModule, StageKind};
@@ -408,6 +408,7 @@ impl<'m> HwSystem<'m> {
         let mut classes: Vec<StepOutcome> = vec![StepOutcome::Active; n_workers];
         // Tracing scratch, allocated once and reused every traced cycle.
         let mut queue_occ_before: Vec<u32> = vec![0; self.queues.len()];
+        let mut last_cause: Vec<Option<StallCause>> = vec![None; n_workers];
 
         while cycle < fuel {
             if live.is_empty() {
@@ -427,6 +428,16 @@ impl<'m> HwSystem<'m> {
                         // Clock-gated this cycle: the FSM holds its state.
                         self.workers[wi].stats.idle += 1;
                         classes[wi] = StepOutcome::Frozen;
+                        if let Some(trace) = &mut self.trace {
+                            if last_cause[wi] != Some(StallCause::Frozen) {
+                                trace.record(TraceEvent::Stall {
+                                    cycle,
+                                    worker: wi as u32,
+                                    cause: StallCause::Frozen,
+                                });
+                                last_cause[wi] = Some(StallCause::Frozen);
+                            }
+                        }
                         li += 1;
                         continue;
                     }
@@ -462,6 +473,11 @@ impl<'m> HwSystem<'m> {
                             state: w.state as u32,
                         });
                     }
+                    let cause = cause_of(classes[wi]);
+                    if last_cause[wi] != Some(cause) {
+                        trace.record(TraceEvent::Stall { cycle, worker: wi as u32, cause });
+                        last_cause[wi] = Some(cause);
+                    }
                     if w.finished {
                         trace.record(TraceEvent::Finish { cycle, worker: wi as u32 });
                     }
@@ -488,6 +504,13 @@ impl<'m> HwSystem<'m> {
                     }
                 }
             }
+            // One occupancy sample per simulated cycle. Skipped windows are
+            // weighted in bulk below — occupancy cannot change while every
+            // worker is blocked or burning, so both engines accumulate
+            // identical histograms.
+            for q in &mut self.queues {
+                q.sample_occupancy(1);
+            }
             if progressed {
                 last_progress = cycle;
             } else if cycle - last_progress > watchdog {
@@ -512,7 +535,7 @@ impl<'m> HwSystem<'m> {
                             any_burn = true;
                             wake = wake.min(until);
                         }
-                        StepOutcome::Frozen | StepOutcome::FifoWait => {}
+                        StepOutcome::Frozen | StepOutcome::FifoWait { .. } => {}
                     }
                 }
                 if let Some(plan) = &self.fault {
@@ -541,6 +564,9 @@ impl<'m> HwSystem<'m> {
                     };
                     if bulk > 0 {
                         self.bulk_credit(&live, &classes, bulk);
+                        for q in &mut self.queues {
+                            q.sample_occupancy(bulk);
+                        }
                         skipped_cycles += bulk;
                         if any_burn {
                             last_progress = cycle + bulk;
@@ -582,8 +608,9 @@ impl<'m> HwSystem<'m> {
         let fifo_beats = self.queues.iter().map(|q| q.beats_pushed + q.beats_popped).sum();
         Ok(SystemStats {
             cycles: cycle,
-            workers: self.workers.iter().map(|w| w.stats).collect(),
+            workers: self.workers.iter().map(|w| w.stats.clone()).collect(),
             fifo_beats,
+            queues: self.queues.iter().map(QueueState::stats).collect(),
             cache: self.cache.stats,
             skipped_cycles,
         })
@@ -598,8 +625,8 @@ impl<'m> HwSystem<'m> {
             let w = &mut self.workers[wi];
             match classes[wi] {
                 StepOutcome::Frozen => w.stats.idle += k,
-                StepOutcome::MemWait { .. } => w.stats.stall_mem += k,
-                StepOutcome::FifoWait => w.stats.stall_fifo += k,
+                StepOutcome::MemWait { .. } => w.stats.stall_mem_read += k,
+                StepOutcome::FifoWait { queue, push } => w.stats.credit_fifo(queue, push, k),
                 StepOutcome::Burn { .. } => {
                     w.stats.busy += k;
                     // Consume beat-transfer cycles first, then `min_cycles`
@@ -642,6 +669,18 @@ fn total_occupancy(q: &QueueState) -> u32 {
     (0..q.channels()).map(|c| q.occupancy(c) as u32).sum()
 }
 
+/// Waveform stall classification for a step outcome.
+#[inline]
+fn cause_of(o: StepOutcome) -> StallCause {
+    match o {
+        StepOutcome::Active | StepOutcome::Burn { .. } => StallCause::Busy,
+        StepOutcome::MemWait { .. } => StallCause::MemRead,
+        StepOutcome::FifoWait { push: true, .. } => StallCause::QueuePush,
+        StepOutcome::FifoWait { push: false, .. } => StallCause::QueuePop,
+        StepOutcome::Frozen => StallCause::Frozen,
+    }
+}
+
 /// How a worker spent one evaluated cycle. The event-driven engine uses
 /// this to decide whether (and how far) the whole system can skip ahead,
 /// and to bulk-credit the skipped cycles; the classification must mirror
@@ -656,9 +695,15 @@ enum StepOutcome {
         /// Cycle the response arrives.
         until: u64,
     },
-    /// Blocked on a FIFO handshake; accrues `stall_fifo` until another
-    /// worker moves the queue (which only happens on an evaluated cycle).
-    FifoWait,
+    /// Blocked on a FIFO handshake; accrues a per-queue push or pop wait
+    /// until another worker moves the queue (which only happens on an
+    /// evaluated cycle).
+    FifoWait {
+        /// Queue the handshake is against.
+        queue: u32,
+        /// True when blocked pushing (full), false when starved popping.
+        push: bool,
+    },
     /// Burning deterministic multi-cycle state latency (remaining
     /// `min_cycles` or extra transfer beats); accrues `busy` and touches
     /// no shared state until the transition at `until`.
@@ -700,7 +745,7 @@ fn step_worker(
     // Outstanding load?
     if let Some(done) = w.mem_wait {
         if cycle < done {
-            w.stats.stall_mem += 1;
+            w.stats.stall_mem_read += 1;
             return Ok(StepOutcome::MemWait { until: done });
         }
         w.mem_wait = None; // data arrived; continue this cycle
@@ -736,9 +781,9 @@ fn step_worker(
             }
             Op::Produce { .. } | Op::ProduceBroadcast { .. } | Op::Consume { .. } => {
                 match try_queue(func, w, iid, queues, cycle, wi, fault)? {
-                    QueueOutcome::Blocked => {
-                        w.stats.stall_fifo += 1;
-                        return Ok(StepOutcome::FifoWait);
+                    QueueOutcome::Blocked { queue, push } => {
+                        w.stats.credit_fifo(queue, push, 1);
+                        return Ok(StepOutcome::FifoWait { queue, push });
                     }
                     QueueOutcome::Done { beats } => {
                         w.cursor += 1;
@@ -856,7 +901,7 @@ fn mem_effect(
 }
 
 enum QueueOutcome {
-    Blocked,
+    Blocked { queue: u32, push: bool },
     Done { beats: u32 },
 }
 
@@ -879,7 +924,7 @@ fn try_queue(
             let chan =
                 (w.vals[worker_sel.index()].expect("selector").as_i32() as usize) % q.channels();
             if !q.can_push(chan) {
-                return Ok(QueueOutcome::Blocked);
+                return Ok(QueueOutcome::Blocked { queue: queue.index() as u32, push: true });
             }
             let v = w.vals[value.index()].expect("produced value");
             q.push(chan, v);
@@ -894,7 +939,7 @@ fn try_queue(
         Op::ProduceBroadcast { queue, value } => {
             let q = &mut queues[queue.index()];
             if !q.can_push_all() {
-                return Ok(QueueOutcome::Blocked);
+                return Ok(QueueOutcome::Blocked { queue: queue.index() as u32, push: true });
             }
             let v = w.vals[value.index()].expect("broadcast value");
             q.push_all(v);
@@ -915,7 +960,7 @@ fn try_queue(
             let chan =
                 (w.vals[channel_sel.index()].expect("selector").as_i32() as usize) % q.channels();
             if !q.can_pop(chan) {
-                return Ok(QueueOutcome::Blocked);
+                return Ok(QueueOutcome::Blocked { queue: queue.index() as u32, push: false });
             }
             let v = match q.pop_checked(queue.index() as u32, chan) {
                 Ok(v) => v,

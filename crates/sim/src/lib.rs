@@ -39,6 +39,6 @@ pub use hw::{HwConfig, HwError, HwSystem, SimEngine};
 pub use interp::{run_function, run_with_accelerator, ExecHooks, InterpError, NoHooks};
 pub use mem::SimMemory;
 pub use mips::{MipsConfig, MipsRun};
-pub use stats::{SystemStats, WorkerStats};
-pub use trace::{Trace, TraceEvent};
+pub use stats::{QueueStats, QueueWait, SystemStats, WorkerStats};
+pub use trace::{StallCause, Trace, TraceEvent};
 pub use value::Value;

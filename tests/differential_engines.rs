@@ -42,7 +42,51 @@ fn assert_same(kernel: &str, label: &str, ev: &RunResult, rf: &RunResult) {
         panic!("{kernel}/{label}: missing stats");
     };
     assert_eq!(es.cycles, rs.cycles, "{kernel}/{label}: stats.cycles differ");
-    assert_eq!(es.workers, rs.workers, "{kernel}/{label}: per-worker stats differ");
+    assert_eq!(es.workers.len(), rs.workers.len(), "{kernel}/{label}: worker counts differ");
+    // Bucket-by-bucket so a mismatch names the worker and the stall cause
+    // rather than dumping two whole stat vectors.
+    for (w, (e, r)) in es.workers.iter().zip(&rs.workers).enumerate() {
+        assert_eq!(e.busy, r.busy, "{kernel}/{label}: worker {w} busy differs");
+        assert_eq!(
+            e.stall_mem_read, r.stall_mem_read,
+            "{kernel}/{label}: worker {w} stall_mem_read differs"
+        );
+        assert_eq!(
+            e.stall_mem_write, r.stall_mem_write,
+            "{kernel}/{label}: worker {w} stall_mem_write differs"
+        );
+        assert_eq!(
+            e.queue_waits, r.queue_waits,
+            "{kernel}/{label}: worker {w} per-queue waits differ"
+        );
+        assert_eq!(e.idle, r.idle, "{kernel}/{label}: worker {w} idle differs");
+        assert_eq!(e.iterations, r.iterations, "{kernel}/{label}: worker {w} iterations differ");
+        // The buckets are a partition of simulated time: they must sum to
+        // the run's cycle count in both engines.
+        assert_eq!(
+            e.total(),
+            es.cycles,
+            "{kernel}/{label}: worker {w} buckets do not sum to cycles (event)"
+        );
+        assert_eq!(
+            r.total(),
+            rs.cycles,
+            "{kernel}/{label}: worker {w} buckets do not sum to cycles (reference)"
+        );
+    }
+    assert_eq!(es.queues, rs.queues, "{kernel}/{label}: queue stats differ");
+    // Occupancy histograms are time-weighted: every channel's weights must
+    // also sum to the run's cycle count.
+    for q in &es.queues {
+        for (ch, hist) in q.occupancy_hist.iter().enumerate() {
+            assert_eq!(
+                hist.iter().sum::<u64>(),
+                es.cycles,
+                "{kernel}/{label}: queue {} channel {ch} histogram mass != cycles",
+                q.name
+            );
+        }
+    }
     assert_eq!(es.fifo_beats, rs.fifo_beats, "{kernel}/{label}: fifo beats differ");
     assert_eq!(es.cache, rs.cache, "{kernel}/{label}: cache stats differ");
 }

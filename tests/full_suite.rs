@@ -59,7 +59,7 @@ fn headline_speedup_is_in_the_papers_regime() {
     for (r, k) in ratios.iter().zip(small_suite()) {
         assert!((1.5..6.0).contains(r), "{}: CGPA/LegUp = {r:.2}", k.name);
     }
-    let g = geomean(&ratios);
+    let g = geomean(&ratios).expect("ratios are positive");
     assert!((2.5..4.5).contains(&g), "geomean CGPA/LegUp = {g:.2}");
 }
 
@@ -74,8 +74,8 @@ fn area_and_energy_land_in_the_papers_regime() {
         alut.push(f64::from(cgpa.alut) / f64::from(legup.alut));
         energy.push(cgpa.energy_uj / legup.energy_uj);
     }
-    let a = geomean(&alut);
-    let e = geomean(&energy);
+    let a = geomean(&alut).expect("ratios are positive");
+    let e = geomean(&energy).expect("ratios are positive");
     assert!((3.0..7.0).contains(&a), "ALUT ratio geomean = {a:.2}");
     assert!((0.9..1.8).contains(&e), "energy overhead geomean = {e:.2}");
 }
