@@ -26,6 +26,7 @@
 pub mod alias;
 pub mod classify;
 pub mod control;
+pub mod obs;
 pub mod pdg;
 pub mod scc;
 

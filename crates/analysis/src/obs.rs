@@ -1,0 +1,93 @@
+//! Traced wrappers around the analysis phases (the front half of paper
+//! Figure 3). Each wrapper runs the underlying pass inside a compile-phase
+//! span on the supplied [`Track`], annotating the span with artifact sizes
+//! (pointer regions, PDG nodes/edges, SCC counts by class); with `None` it
+//! is a plain pass-through, so callers thread one `Option<&Track>` through
+//! the whole flow instead of duplicating it.
+
+use crate::alias::{MemoryModel, PointsTo};
+use crate::classify::{classify_sccs, SccClass, SccClassification};
+use crate::pdg::{build_pdg, DepKind, Pdg};
+use crate::scc::Condensation;
+use cgpa_ir::cfg::Cfg;
+use cgpa_ir::loops::Loop;
+use cgpa_ir::Function;
+use cgpa_obs::Track;
+
+/// [`PointsTo::compute`] under an `alias` span (pointer facts per region).
+#[must_use]
+pub fn points_to_traced(func: &Function, model: &MemoryModel, obs: Option<&Track>) -> PointsTo {
+    let span = obs.map(|t| t.span("alias", "analysis"));
+    let pt = PointsTo::compute(func, model);
+    if let Some(s) = &span {
+        s.arg("regions", model.regions().len());
+        s.arg("values", func.values.len());
+    }
+    pt
+}
+
+/// [`build_pdg`] under a `pdg` span (node/edge counts, loop-carried and
+/// memory edge counts — the quantities the partitioner's feasibility hangs
+/// on).
+#[must_use]
+pub fn build_pdg_traced(
+    func: &Function,
+    cfg: &Cfg,
+    target: &Loop,
+    points_to: &PointsTo,
+    model: &MemoryModel,
+    obs: Option<&Track>,
+) -> Pdg {
+    let span = obs.map(|t| t.span("pdg", "analysis"));
+    let pdg = build_pdg(func, cfg, target, points_to, model);
+    if let Some(s) = &span {
+        s.arg("nodes", pdg.nodes.len());
+        s.arg("edges", pdg.edges.len());
+        s.arg("loop_carried_edges", pdg.edges.iter().filter(|e| e.loop_carried).count());
+        s.arg("memory_edges", pdg.edges.iter().filter(|e| e.kind == DepKind::Memory).count());
+    }
+    pdg
+}
+
+/// [`Condensation::compute`] under an `scc condense` span (SCC and DAG edge
+/// counts).
+#[must_use]
+pub fn condensation_traced(pdg: &Pdg, obs: Option<&Track>) -> Condensation {
+    let span = obs.map(|t| t.span("scc condense", "analysis"));
+    let cond = Condensation::compute(pdg);
+    if let Some(s) = &span {
+        s.arg("sccs", cond.len());
+        s.arg("dag_edges", cond.edges.len());
+        s.arg("largest_scc", cond.sccs.iter().map(Vec::len).max().unwrap_or(0));
+    }
+    cond
+}
+
+/// [`classify_sccs`] under an `scc classify` span (P/R/S counts — the raw
+/// material of the Table 2 shape).
+#[must_use]
+pub fn classify_traced(
+    func: &Function,
+    pdg: &Pdg,
+    cond: &Condensation,
+    obs: Option<&Track>,
+) -> SccClassification {
+    let span = obs.map(|t| t.span("scc classify", "analysis"));
+    let classification = classify_sccs(func, pdg, cond);
+    if let Some(s) = &span {
+        let count =
+            |letter: char| classification.classes().iter().filter(|c| c.letter() == letter).count();
+        s.arg("parallel", count('P'));
+        s.arg("replicable", count('R'));
+        s.arg("sequential", count('S'));
+        s.arg(
+            "lightweight_replicable",
+            classification
+                .classes()
+                .iter()
+                .filter(|c| matches!(c, SccClass::Replicable { lightweight: true }))
+                .count(),
+        );
+    }
+    classification
+}

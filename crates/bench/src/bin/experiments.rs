@@ -3,6 +3,8 @@
 //! ```text
 //! experiments [table2|fig4|table3|tradeoff|scalability|ablation|topology|profile|bench|all]
 //!             [--quick] [--csv <dir>] [--json] [--label <name>]
+//! experiments trace [--kernel <name>] [--out <file>] [--quick]
+//! experiments compare <new.json> [--baseline <file>] [--max-regress <pct>]
 //! ```
 //!
 //! `--csv <dir>` additionally writes machine-readable CSV files per
@@ -19,6 +21,16 @@
 //! With `--json` it writes `BENCH_<label>.json` (label from `--label`, the
 //! `BENCH_LABEL` env var, or the current git short SHA) for regression
 //! tracking; compare against the committed `BENCH_baseline.json`.
+//!
+//! `trace` runs one kernel end to end with structured tracing (compile-phase
+//! spans, Verilog emission, per-iteration pipeline spans, FIFO-occupancy
+//! counters) and writes a Chrome-trace JSON loadable at
+//! <https://ui.perfetto.dev>.
+//!
+//! `compare` diffs a `BENCH_*.json` against a baseline per kernel and
+//! metric, failing (exit 1) when a simulated-cycle metric regresses past the
+//! tolerance or a correctness invariant (CGPA beats LegUp; tuning never
+//! hurts) flips. Wall-clock metrics are reported but never gate.
 
 use cgpa::compiler::{CgpaCompiler, CgpaConfig};
 use cgpa::report::{geomean, BenchmarkReport};
@@ -73,20 +85,46 @@ fn main() {
     let set = if quick { KernelSet::Quick } else { KernelSet::Full };
     // Flags that consume the following argument: their operands are not
     // positional.
-    let operand_of: Vec<usize> = ["--csv", "--label"]
-        .iter()
-        .filter_map(|f| args.iter().position(|a| a == *f).map(|i| i + 1))
-        .collect();
-    let which = args
+    let operand_of: Vec<usize> =
+        ["--csv", "--label", "--kernel", "--out", "--baseline", "--max-regress"]
+            .iter()
+            .filter_map(|f| args.iter().position(|a| a == *f).map(|i| i + 1))
+            .collect();
+    let positionals: Vec<String> = args
         .iter()
         .enumerate()
-        .find(|(i, a)| !a.starts_with("--") && !operand_of.contains(i))
+        .filter(|(i, a)| !a.starts_with("--") && !operand_of.contains(i))
         .map(|(_, a)| a.clone())
-        .unwrap_or_else(|| "all".to_string());
+        .collect();
+    let which = positionals.first().cloned().unwrap_or_else(|| "all".to_string());
 
     match which.as_str() {
         "bench" => bench(set, args.iter().any(|a| a == "--json"), &bench_label(&args)),
         "profile" => profile_cmd(set, args.iter().any(|a| a == "--json"), &bench_label(&args)),
+        "trace" => trace_cmd(
+            set,
+            flag_operand(&args, "--kernel").unwrap_or_else(|| "kmeans".to_string()).as_str(),
+            flag_operand(&args, "--out").unwrap_or_else(|| "trace.json".to_string()).as_str(),
+        ),
+        "compare" => {
+            let Some(new_path) = positionals.get(1) else {
+                eprintln!(
+                    "usage: experiments compare <new.json> [--baseline <file>] [--max-regress <pct>]"
+                );
+                std::process::exit(2);
+            };
+            let baseline = flag_operand(&args, "--baseline")
+                .unwrap_or_else(|| "BENCH_baseline.json".to_string());
+            let max_regress = flag_operand(&args, "--max-regress")
+                .map(|p| {
+                    p.parse::<f64>().unwrap_or_else(|_| {
+                        eprintln!("--max-regress expects a percentage, got `{p}`");
+                        std::process::exit(2);
+                    })
+                })
+                .unwrap_or(5.0);
+            compare_cmd(new_path, &baseline, max_regress);
+        }
         "table2" => table2(set),
         "fig4" => fig4(set),
         "table3" => table3(set),
@@ -106,11 +144,16 @@ fn main() {
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: experiments [table2|fig4|table3|tradeoff|scalability|ablation|topology|profile|bench|all] [--quick] [--csv <dir>] [--json] [--label <name>]"
+                "usage: experiments [table2|fig4|table3|tradeoff|scalability|ablation|topology|profile|bench|trace|compare|all] [--quick] [--csv <dir>] [--json] [--label <name>]"
             );
             std::process::exit(2);
         }
     }
+}
+
+/// The operand following `flag`, if present.
+fn flag_operand(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
 }
 
 /// Label for `BENCH_<label>.json`: `--label` wins, then the `BENCH_LABEL`
@@ -491,6 +534,166 @@ fn profile_cmd(set: KernelSet, json: bool, label: &str) {
         let path = format!("PROFILE_{label}.json");
         std::fs::write(&path, out).expect("write profile json");
         eprintln!("wrote {path}");
+    }
+}
+
+/// Run one kernel end to end with structured tracing and write the
+/// Chrome-trace JSON to `out` (load it at <https://ui.perfetto.dev>).
+fn trace_cmd(set: KernelSet, kernel: &str, out: &str) {
+    use cgpa::flows::{run_cgpa_traced, HwTuning};
+
+    let kernels = bench_kernels(set, 42);
+    let Some(k) = kernels.iter().find(|k| k.name == kernel) else {
+        let names: Vec<&str> = kernels.iter().map(|k| k.name.as_str()).collect();
+        eprintln!("unknown kernel `{kernel}`; available: {}", names.join(", "));
+        std::process::exit(2);
+    };
+    match run_cgpa_traced(k, CgpaConfig::default(), HwTuning::default()) {
+        Ok(traced) => {
+            let events = traced.recorder.events().len();
+            std::fs::write(out, traced.recorder.to_chrome_json()).expect("write trace json");
+            println!(
+                "{}: {} in {} cycles (shape {})",
+                k.name,
+                traced.result.config,
+                traced.result.cycles,
+                traced.result.shape.as_deref().unwrap_or("-")
+            );
+            eprintln!("wrote {out} ({events} events; open in https://ui.perfetto.dev)");
+        }
+        Err(e) => {
+            eprintln!("{}: traced run failed: {e}", k.name);
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Simulated-cycle metrics gated by the regression tolerance. These are
+/// deterministic (seeded inputs, cycle-exact engines), so any drift is a
+/// real behaviour change.
+const COMPARE_CYCLE_METRICS: [&str; 5] =
+    ["legup_cycles", "cgpa_cycles", "himem_cycles", "himem_cgpa_cycles", "himem_tuned_cycles"];
+
+/// Wall-clock metrics: reported for information, never gating (CI machines
+/// are noisy).
+const COMPARE_INFO_METRICS: [&str; 4] =
+    ["compile_ms", "sim_ms_event", "sim_ms_reference", "himem_sim_ms_event"];
+
+/// Correctness ratios that must not fall below 1.0 when the baseline holds
+/// them: CGPA beating LegUp, and profile-guided tuning never hurting.
+const COMPARE_INVARIANTS: [&str; 2] = ["speedup_vs_legup", "himem_tuned_speedup"];
+
+/// Load a `BENCH_*.json`, exiting with code 2 on I/O or parse failure.
+fn load_bench_json(path: &str) -> cgpa_obs::json::Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    cgpa_obs::json::Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Numeric metric from a kernel entry, exiting with code 2 when the schema
+/// does not carry it (stale baseline — regenerate with `bench --json`).
+fn metric(doc_path: &str, kernel: &cgpa_obs::json::Json, name: &str) -> f64 {
+    kernel.get(name).and_then(cgpa_obs::json::Json::as_f64).unwrap_or_else(|| {
+        let kname = kernel.get("name").and_then(cgpa_obs::json::Json::as_str).unwrap_or("?");
+        eprintln!(
+            "{doc_path}: kernel {kname} lacks metric `{name}` — regenerate with \
+             `experiments bench --quick --json`"
+        );
+        std::process::exit(2);
+    })
+}
+
+/// Diff `new_path` against `baseline_path` per kernel and metric.
+/// Exit codes: 0 clean, 1 regression or invariant flip, 2 usage/schema.
+fn compare_cmd(new_path: &str, baseline_path: &str, max_regress_pct: f64) {
+    use cgpa_obs::json::Json;
+
+    let base = load_bench_json(baseline_path);
+    let new = load_bench_json(new_path);
+    let get_set = |d: &Json| d.get("set").and_then(Json::as_str).unwrap_or("?").to_string();
+    let (base_set, new_set) = (get_set(&base), get_set(&new));
+    let kernel_list = |d: &Json| -> Vec<Json> {
+        d.get("kernels").and_then(Json::as_arr).map(<[Json]>::to_vec).unwrap_or_default()
+    };
+    let base_kernels = kernel_list(&base);
+    let new_kernels = kernel_list(&new);
+
+    println!(
+        "== Compare {new_path} vs {baseline_path} (tolerance {max_regress_pct}% on simulated cycles) =="
+    );
+    let mut failures: Vec<String> = Vec::new();
+    if base_set != new_set {
+        failures
+            .push(format!("kernel set changed: baseline ran `{base_set}`, new ran `{new_set}`"));
+    }
+    let names = |ks: &[Json]| -> Vec<String> {
+        ks.iter().map(|k| k.get("name").and_then(Json::as_str).unwrap_or("?").to_string()).collect()
+    };
+    let (base_names, new_names) = (names(&base_kernels), names(&new_kernels));
+    if base_names != new_names {
+        failures.push(format!(
+            "kernel list changed: baseline [{}] vs new [{}]",
+            base_names.join(", "),
+            new_names.join(", ")
+        ));
+    }
+
+    for (bk, nk) in base_kernels.iter().zip(&new_kernels) {
+        let kname = bk.get("name").and_then(Json::as_str).unwrap_or("?");
+        for m in COMPARE_CYCLE_METRICS {
+            let b = metric(baseline_path, bk, m);
+            let n = metric(new_path, nk, m);
+            let delta_pct = if b > 0.0 { (n - b) / b * 100.0 } else { 0.0 };
+            let verdict = if n > b * (1.0 + max_regress_pct / 100.0) {
+                failures.push(format!("{kname}/{m}: {b:.0} -> {n:.0} (+{delta_pct:.2}%)"));
+                "REGRESSION"
+            } else if (n - b).abs() > f64::EPSILON {
+                "changed"
+            } else {
+                "ok"
+            };
+            if verdict != "ok" {
+                println!(
+                    "  {kname:<14} {m:<22} {b:>12.0} -> {n:>12.0} ({delta_pct:+.2}%) {verdict}"
+                );
+            }
+        }
+        for m in COMPARE_INVARIANTS {
+            let b = metric(baseline_path, bk, m);
+            let n = metric(new_path, nk, m);
+            if b >= 1.0 && n < 1.0 {
+                failures.push(format!(
+                    "{kname}/{m}: invariant flipped ({b:.3} -> {n:.3}; must stay >= 1.0)"
+                ));
+                println!("  {kname:<14} {m:<22} {b:>12.3} -> {n:>12.3} INVARIANT FLIP");
+            }
+        }
+        for m in COMPARE_INFO_METRICS {
+            // Informational only: wall-clock noise must not gate CI.
+            let b = metric(baseline_path, bk, m);
+            let n = metric(new_path, nk, m);
+            if b > 0.0 && (n - b).abs() / b > 0.5 {
+                println!(
+                    "  {kname:<14} {m:<22} {b:>12.3} -> {n:>12.3} ({:+.1}%, wall-clock, not gating)",
+                    (n - b) / b * 100.0
+                );
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!("clean: no simulated-cycle regressions past {max_regress_pct}%, invariants hold");
+    } else {
+        println!("{} failure(s):", failures.len());
+        for f in &failures {
+            println!("  FAIL {f}");
+        }
+        std::process::exit(1);
     }
 }
 

@@ -1,19 +1,23 @@
 //! The CGPA compiler driver (paper Figure 3's analysis/transform/backend
 //! pipeline).
 
-use cgpa_analysis::alias::PointsTo;
-use cgpa_analysis::classify::{classify_sccs, SccClassification};
-use cgpa_analysis::pdg::build_pdg;
+use cgpa_analysis::classify::SccClassification;
+use cgpa_analysis::obs::{
+    build_pdg_traced, classify_traced, condensation_traced, points_to_traced,
+};
 use cgpa_analysis::{Condensation, MemoryModel, Pdg};
 use cgpa_ir::cfg::Cfg;
 use cgpa_ir::dom::DomTree;
 use cgpa_ir::loops::LoopInfo;
 use cgpa_ir::Function;
+use cgpa_obs::Track;
+use cgpa_pipeline::obs::{partition_traced, transform_traced};
 use cgpa_pipeline::transform::TransformConfig;
 use cgpa_pipeline::{
-    partition_loop, transform_loop, PartitionConfig, PartitionError, PipelineModule, PipelinePlan,
-    ReplicablePlacement, StageKind, TransformError,
+    PartitionConfig, PartitionError, PipelineModule, PipelinePlan, ReplicablePlacement, StageKind,
+    TransformError,
 };
+use cgpa_rtl::obs::{emit_worker_traced, schedule_traced};
 use cgpa_rtl::schedule::try_schedule_function;
 use cgpa_rtl::{verilog, Fsm};
 use std::error::Error;
@@ -202,19 +206,50 @@ impl CgpaCompiler {
     /// # Errors
     /// See [`CompileError`].
     pub fn compile(&self, func: &Function, model: &MemoryModel) -> Result<Compiled, CompileError> {
+        self.compile_inner(func, model, None)
+    }
+
+    /// [`CgpaCompiler::compile`] with every phase recorded as a span on
+    /// `track` (alias → PDG → SCC condensation → classification →
+    /// partition → transform → per-task FSM scheduling), each annotated
+    /// with its artifact sizes. The compiled result is identical to the
+    /// untraced flow.
+    ///
+    /// # Errors
+    /// See [`CompileError`].
+    pub fn compile_traced(
+        &self,
+        func: &Function,
+        model: &MemoryModel,
+        track: &Track,
+    ) -> Result<Compiled, CompileError> {
+        self.compile_inner(func, model, Some(track))
+    }
+
+    fn compile_inner(
+        &self,
+        func: &Function,
+        model: &MemoryModel,
+        obs: Option<&Track>,
+    ) -> Result<Compiled, CompileError> {
+        let compile_span = obs.map(|t| {
+            let s = t.span(format!("compile {}", func.name), "compile");
+            s.arg("workers", self.config.workers);
+            s
+        });
         let cfg = Cfg::new(func);
         let dom = DomTree::dominators(func, &cfg);
         let li = LoopInfo::compute(func, &cfg, &dom);
         let target = li.single_outermost().ok_or(CompileError::NoTargetLoop)?;
-        let pt = PointsTo::compute(func, model);
-        let pdg = build_pdg(func, &cfg, target, &pt, model);
-        let condensation = Condensation::compute(&pdg);
-        let classification = classify_sccs(func, &pdg, &condensation);
+        let pt = points_to_traced(func, model, obs);
+        let pdg = build_pdg_traced(func, &cfg, target, &pt, model, obs);
+        let condensation = condensation_traced(&pdg, obs);
+        let classification = classify_traced(func, &pdg, &condensation, obs);
         let mut pconfig = self.config.partition;
         pconfig.placement = self.config.placement;
-        let plan = partition_loop(func, &pdg, &condensation, &classification, pconfig)?;
+        let plan = partition_traced(func, &pdg, &condensation, &classification, pconfig, obs)?;
         let shape = plan.shape();
-        let pipeline = transform_loop(
+        let pipeline = transform_traced(
             func,
             &cfg,
             target,
@@ -222,12 +257,16 @@ impl CgpaCompiler {
             &condensation,
             &plan,
             TransformConfig { workers: self.config.workers, loop_id: 0 },
+            obs,
         )?;
         let mut fsms = Vec::new();
         for f in &pipeline.module.funcs {
-            let fsm =
-                try_schedule_function(f).map_err(|e| CompileError::Schedule(e.to_string()))?;
+            let fsm = schedule_traced(f, obs).map_err(|e| CompileError::Schedule(e.to_string()))?;
             fsms.push(fsm);
+        }
+        if let Some(s) = &compile_span {
+            s.arg("shape", shape.as_str());
+            s.arg("fsm_states_total", fsms.iter().map(|f| f.states.len()).sum::<usize>());
         }
         Ok(Compiled { pipeline, plan, shape, fsms, pdg, condensation, classification })
     }
@@ -285,6 +324,19 @@ impl CgpaCompiler {
     /// "Verilog Generation").
     #[must_use]
     pub fn emit_verilog(&self, compiled: &Compiled) -> String {
+        self.emit_verilog_inner(compiled, None)
+    }
+
+    /// [`CgpaCompiler::emit_verilog`] with one span per emitted worker
+    /// module (plus an enclosing `verilog` span with the total output size)
+    /// recorded on `track`.
+    #[must_use]
+    pub fn emit_verilog_traced(&self, compiled: &Compiled, track: &Track) -> String {
+        self.emit_verilog_inner(compiled, Some(track))
+    }
+
+    fn emit_verilog_inner(&self, compiled: &Compiled, obs: Option<&Track>) -> String {
+        let span = obs.map(|t| t.span("verilog", "rtl"));
         let mut out = String::new();
         out.push_str(&verilog::emit_fifo_library());
         out.push('\n');
@@ -292,7 +344,7 @@ impl CgpaCompiler {
         for task in &compiled.pipeline.tasks {
             let f = &compiled.pipeline.module.funcs[task.func_index];
             let fsm = &compiled.fsms[task.func_index];
-            out.push_str(&verilog::emit_worker(f, fsm, &task.name));
+            out.push_str(&emit_worker_traced(f, fsm, &task.name, obs));
             out.push('\n');
             let count = match task.kind {
                 StageKind::Sequential => 1,
@@ -314,6 +366,10 @@ impl CgpaCompiler {
         out.push_str(&verilog::emit_top(&top_name, &worker_insts, &channels));
         out.push('\n');
         out.push_str(&verilog::emit_testbench(&top_name));
+        if let Some(s) = &span {
+            s.arg("bytes", out.len());
+            s.arg("modules", compiled.pipeline.tasks.len() + 2);
+        }
         out
     }
 }
@@ -405,15 +461,16 @@ impl CgpaCompiler {
             let li = LoopInfo::compute(&current, &cfg, &dom);
             let Some(target) = li.loops().iter().find(|l| l.depth == 1) else { break };
             let target = target.clone();
-            let pt = cgpa_analysis::alias::PointsTo::compute(&current, model);
-            let pdg = build_pdg(&current, &cfg, &target, &pt, model);
-            let condensation = Condensation::compute(&pdg);
-            let classification = classify_sccs(&current, &pdg, &condensation);
+            let pt = points_to_traced(&current, model, None);
+            let pdg = build_pdg_traced(&current, &cfg, &target, &pt, model, None);
+            let condensation = condensation_traced(&pdg, None);
+            let classification = classify_traced(&current, &pdg, &condensation, None);
             let mut pconfig = self.config.partition;
             pconfig.placement = self.config.placement;
-            let plan = partition_loop(&current, &pdg, &condensation, &classification, pconfig)?;
+            let plan =
+                partition_traced(&current, &pdg, &condensation, &classification, pconfig, None)?;
             let shape = plan.shape();
-            let pipeline = transform_loop(
+            let pipeline = transform_traced(
                 &current,
                 &cfg,
                 &target,
@@ -424,6 +481,7 @@ impl CgpaCompiler {
                     workers: self.config.workers,
                     loop_id: accelerators.len() as u32,
                 },
+                None,
             )?;
             let mut fsms = Vec::new();
             for f in &pipeline.module.funcs {

@@ -15,6 +15,7 @@ use crate::compiler::{
 };
 use crate::profile::{Bottleneck, Profile};
 use cgpa_kernels::BuiltKernel;
+use cgpa_obs::{Recorder, Track};
 use cgpa_pipeline::StageKind;
 use cgpa_rtl::area::{estimate_area, fifo_area, AreaModel, AreaReport};
 use cgpa_rtl::power::{energy_efficiency, evaluate, ActivityTrace, PowerModel, PowerReport};
@@ -236,7 +237,7 @@ pub fn run_compiled_tuned(
     config: CgpaConfig,
     tuning: HwTuning,
 ) -> Result<RunResult, FlowError> {
-    run_compiled_impl(k, compiled, config, tuning, None).map(|(r, _)| r)
+    run_compiled_impl(k, compiled, config, tuning, None, None).map(|(r, _)| r)
 }
 
 fn run_compiled_impl(
@@ -245,6 +246,7 @@ fn run_compiled_impl(
     config: CgpaConfig,
     tuning: HwTuning,
     fault: Option<FaultPlan>,
+    obs: Option<&Recorder>,
 ) -> Result<(RunResult, Option<FaultPlan>), FlowError> {
     // One cache port per worker (paper §3.1: dedicated memory ports), up to
     // the 8-port cache of §4.1.
@@ -274,6 +276,9 @@ fn run_compiled_impl(
     let mut hw_err: Option<HwError> = None;
     let mut plan_out: Option<FaultPlan> = None;
     let pm = &compiled.pipeline;
+    // Each fork gets its own trace process so a multi-invocation parent
+    // cannot interleave two runs' cycle timelines on one track.
+    let mut fork_index: u32 = 0;
     let (ret, _) = run_with_accelerator(
         &pm.parent,
         &k.args,
@@ -281,6 +286,10 @@ fn run_compiled_impl(
         4_000_000_000,
         &mut |_loop_id: u32, live_ins: &[Value], mem: &mut SimMemory| {
             let mut sys = HwSystem::for_pipeline(pm, live_ins, hw_cfg);
+            if let Some(rec) = obs {
+                sys.attach_obs(rec, 2 + fork_index);
+                fork_index += 1;
+            }
             if let Some(plan) = &fault {
                 sys.inject_faults(plan.clone());
             }
@@ -384,8 +393,50 @@ pub fn run_cgpa_with_faults_tuned(
 ) -> Result<(RunResult, FaultPlan), FlowError> {
     let compiler = CgpaCompiler::new(config);
     let compiled = compiler.compile(&k.func, &k.model)?;
-    let (r, plan_out) = run_compiled_impl(k, &compiled, config, tuning, Some(plan.clone()))?;
+    let (r, plan_out) = run_compiled_impl(k, &compiled, config, tuning, Some(plan.clone()), None)?;
     Ok((r, plan_out.unwrap_or(plan)))
+}
+
+/// A pipeline run paired with the recorder holding its end-to-end trace
+/// (compile-phase spans, Verilog emission spans, per-iteration pipeline
+/// spans, FIFO occupancy counters). Export with
+/// [`Recorder::to_chrome_json`] and load the file in Perfetto.
+#[derive(Debug)]
+pub struct TracedRun {
+    /// The run (cycles, area, power, stats) — identical to the untraced
+    /// flow's result.
+    pub result: RunResult,
+    /// The recorder every layer wrote into: trace process 1 is the
+    /// compiler (wall-clock µs), processes 2+ are the simulator forks
+    /// (one trace-µs per simulated cycle).
+    pub recorder: Recorder,
+}
+
+/// [`run_cgpa_tuned`] with end-to-end structured tracing: the compile
+/// pipeline records one span per phase (alias → PDG → SCC condensation →
+/// classification → partition → transform → FSM scheduling → Verilog),
+/// and the simulator records per-iteration spans per worker plus FIFO
+/// occupancy counter tracks. Tracing does not change the configured
+/// engine — both engines emit bit-identical simulator streams.
+///
+/// # Errors
+/// See [`FlowError`].
+pub fn run_cgpa_traced(
+    k: &BuiltKernel,
+    config: CgpaConfig,
+    tuning: HwTuning,
+) -> Result<TracedRun, FlowError> {
+    let recorder = Recorder::new();
+    recorder.name_process(1, format!("compile {}", k.name));
+    recorder.name_thread(1, 1, "compiler");
+    let track = Track { rec: recorder.clone(), pid: 1, tid: 1 };
+    let compiler = CgpaCompiler::new(config);
+    let compiled = compiler.compile_traced(&k.func, &k.model, &track)?;
+    // Emit (and discard) the Verilog so the backend's span shows up on the
+    // compile track; callers wanting the text can re-emit from `compiled`.
+    let _ = compiler.emit_verilog_traced(&compiled, &track);
+    let (result, _) = run_compiled_impl(k, &compiled, config, tuning, None, Some(&recorder))?;
+    Ok(TracedRun { result, recorder })
 }
 
 /// A pipeline run paired with its bottleneck profile.

@@ -276,26 +276,41 @@ impl Profile {
     #[must_use]
     pub fn bottleneck_summary(&self) -> String {
         match &self.bottleneck {
+            // A `Bottleneck` deserialized or assembled out of band may name a
+            // stage/queue this profile does not carry; degrade to an
+            // index-only summary instead of panicking.
             Bottleneck::Stage { stage, utilization } => {
-                let s = &self.stages[self.stages.iter().position(|p| p.stage == *stage).unwrap()];
-                format!(
-                    "stage {} `{}` ({}, {:.0}% utilized)",
-                    stage,
-                    s.name,
-                    if s.parallel { "parallel" } else { "sequential" },
-                    utilization * 100.0
-                )
+                match self.stages.iter().find(|p| p.stage == *stage) {
+                    Some(s) => format!(
+                        "stage {} `{}` ({}, {:.0}% utilized)",
+                        stage,
+                        s.name,
+                        if s.parallel { "parallel" } else { "sequential" },
+                        utilization * 100.0
+                    ),
+                    None => format!(
+                        "stage {} (not in profile, {:.0}% utilized)",
+                        stage,
+                        utilization * 100.0
+                    ),
+                }
             }
             Bottleneck::QueueFull { queue, full_fraction } => {
-                let q = &self.queues[self.queues.iter().position(|p| p.queue == *queue).unwrap()];
-                format!(
-                    "queue {} `{}` full {:.0}% of the time (stage {} -> {})",
-                    queue,
-                    q.name,
-                    full_fraction * 100.0,
-                    q.producer_stage,
-                    q.consumer_stage
-                )
+                match self.queues.iter().find(|p| p.queue == *queue) {
+                    Some(q) => format!(
+                        "queue {} `{}` full {:.0}% of the time (stage {} -> {})",
+                        queue,
+                        q.name,
+                        full_fraction * 100.0,
+                        q.producer_stage,
+                        q.consumer_stage
+                    ),
+                    None => format!(
+                        "queue {} (not in profile) full {:.0}% of the time",
+                        queue,
+                        full_fraction * 100.0
+                    ),
+                }
             }
             Bottleneck::MemoryPort { stall_fraction, latency_bound } => format!(
                 "memory port ({:.0}% of worker-cycles stalled, {})",
@@ -660,5 +675,27 @@ mod tests {
         assert!(j.contains("\"bottleneck\""));
         let text = p.render();
         assert!(text.contains("bottleneck: queue 0"));
+    }
+
+    #[test]
+    fn summary_degrades_when_bottleneck_names_a_missing_stage_or_queue() {
+        let mut p = Profile {
+            kernel: "k".into(),
+            config: "CGPA(P1)".into(),
+            shape: "S-P".into(),
+            workers: 4,
+            fifo_depth_beats: 16,
+            cycles: 1000,
+            stages: vec![stage(0, false, 900, 0.9)],
+            queues: vec![queue(0, 5, 7)],
+            memory: mem(100, 0),
+            bottleneck: Bottleneck::Stage { stage: 7, utilization: 0.42 },
+        };
+        assert_eq!(p.bottleneck_summary(), "stage 7 (not in profile, 42% utilized)");
+        p.bottleneck = Bottleneck::QueueFull { queue: 9, full_fraction: 0.25 };
+        assert_eq!(p.bottleneck_summary(), "queue 9 (not in profile) full 25% of the time");
+        // The in-profile paths still resolve names.
+        p.bottleneck = Bottleneck::Stage { stage: 0, utilization: 0.9 };
+        assert!(p.bottleneck_summary().contains("`s0`"));
     }
 }

@@ -1,0 +1,88 @@
+//! Traced wrappers around the partition and transform phases. Each runs the
+//! underlying pass inside a compile-phase span on the supplied [`Track`],
+//! annotated with the partition shape and generated-artifact sizes; with
+//! `None` they are plain pass-throughs.
+
+use crate::partition::{partition_loop, PartitionConfig, PartitionError};
+use crate::plan::{PipelinePlan, StageKind};
+use crate::transform::{transform_loop, PipelineModule, TransformConfig, TransformError};
+use cgpa_analysis::classify::SccClassification;
+use cgpa_analysis::{Condensation, Pdg};
+use cgpa_ir::cfg::Cfg;
+use cgpa_ir::loops::Loop;
+use cgpa_ir::Function;
+use cgpa_obs::Track;
+
+/// [`partition_loop`] under a `partition` span (stage count and Table 2
+/// shape; failures annotate the span with the error before propagating).
+///
+/// # Errors
+/// Propagates [`PartitionError`] unchanged.
+pub fn partition_traced(
+    func: &Function,
+    pdg: &Pdg,
+    cond: &Condensation,
+    classes: &SccClassification,
+    config: PartitionConfig,
+    obs: Option<&Track>,
+) -> Result<PipelinePlan, PartitionError> {
+    let span = obs.map(|t| t.span("partition", "pipeline"));
+    match partition_loop(func, pdg, cond, classes, config) {
+        Ok(plan) => {
+            if let Some(s) = &span {
+                s.arg("shape", plan.shape());
+                s.arg("stages", plan.stages.len());
+                s.arg(
+                    "parallel_stages",
+                    plan.stages.iter().filter(|st| st.kind == StageKind::Parallel).count(),
+                );
+                s.arg("duplicated_sccs", plan.duplicated.len());
+            }
+            Ok(plan)
+        }
+        Err(e) => {
+            if let Some(s) = &span {
+                s.arg("error", e.to_string());
+            }
+            Err(e)
+        }
+    }
+}
+
+/// [`transform_loop`] under a `transform` span (task, queue, and worker
+/// counts of the produced module; failures annotate the span with the error
+/// before propagating).
+///
+/// # Errors
+/// Propagates [`TransformError`] unchanged.
+#[allow(clippy::too_many_arguments)]
+pub fn transform_traced(
+    func: &Function,
+    cfg: &Cfg,
+    target: &Loop,
+    pdg: &Pdg,
+    cond: &Condensation,
+    plan: &PipelinePlan,
+    config: TransformConfig,
+    obs: Option<&Track>,
+) -> Result<PipelineModule, TransformError> {
+    let span = obs.map(|t| t.span("transform", "pipeline"));
+    match transform_loop(func, cfg, target, pdg, cond, plan, config) {
+        Ok(pipeline) => {
+            if let Some(s) = &span {
+                s.arg("tasks", pipeline.tasks.len());
+                s.arg("queues", pipeline.queues.len());
+                s.arg("workers", pipeline.workers);
+                s.arg("live_ins", pipeline.live_ins.len());
+                s.arg("liveouts", pipeline.liveouts.len());
+            }
+            Ok(pipeline)
+        }
+        Err(e) => {
+            if let Some(s) = &span {
+                s.arg("error", e.to_string());
+            }
+            Err(e)
+        }
+    }
+}

@@ -19,6 +19,7 @@
 
 pub mod area;
 pub mod fsm;
+pub mod obs;
 pub mod power;
 pub mod schedule;
 pub mod timing;

@@ -1,0 +1,52 @@
+//! Traced wrappers around the RTL backend. Scheduling gets one span per
+//! task function (annotated with FSM state counts); Verilog emission gets
+//! one span per emitted unit (annotated with output size). With `None` they
+//! are plain pass-throughs.
+
+use crate::fsm::Fsm;
+use crate::schedule::{try_schedule_function, ScheduleError};
+use crate::verilog;
+use cgpa_ir::Function;
+use cgpa_obs::Track;
+
+/// [`try_schedule_function`] under a `schedule <name>` span (state count
+/// and instruction count; failures annotate the span with the error).
+///
+/// # Errors
+/// Propagates [`ScheduleError`] unchanged.
+pub fn schedule_traced(func: &Function, obs: Option<&Track>) -> Result<Fsm, ScheduleError> {
+    let span = obs.map(|t| t.span(format!("schedule {}", func.name), "rtl"));
+    match try_schedule_function(func) {
+        Ok(fsm) => {
+            if let Some(s) = &span {
+                s.arg("fsm_states", fsm.states.len());
+                s.arg("blocks", func.blocks.len());
+            }
+            Ok(fsm)
+        }
+        Err(e) => {
+            if let Some(s) = &span {
+                s.arg("error", e.to_string());
+            }
+            Err(e)
+        }
+    }
+}
+
+/// [`verilog::emit_worker`] under a `verilog <module>` span (bytes and line
+/// count of the emitted module).
+#[must_use]
+pub fn emit_worker_traced(
+    func: &Function,
+    fsm: &Fsm,
+    module_name: &str,
+    obs: Option<&Track>,
+) -> String {
+    let span = obs.map(|t| t.span(format!("verilog {module_name}"), "rtl"));
+    let text = verilog::emit_worker(func, fsm, module_name);
+    if let Some(s) = &span {
+        s.arg("bytes", text.len());
+        s.arg("lines", text.lines().count());
+    }
+    text
+}

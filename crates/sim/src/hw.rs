@@ -20,6 +20,7 @@ use crate::stats::{SystemStats, WorkerStats};
 use crate::trace::{StallCause, Trace, TraceEvent};
 use crate::value::Value;
 use cgpa_ir::{Function, InstId, Module, Op, ValueId};
+use cgpa_obs::Recorder;
 use cgpa_pipeline::{PipelineModule, StageKind};
 use cgpa_rtl::schedule::schedule_function;
 use cgpa_rtl::Fsm;
@@ -167,6 +168,17 @@ impl Worker {
     }
 }
 
+/// Structured-trace sink (see `cgpa-obs`): the shared recorder plus the
+/// trace process this system's events land in. Unlike the VCD [`Trace`],
+/// attaching one does **not** force the per-cycle stepper: every event it
+/// emits (iteration back edges, FIFO occupancy changes, finishes) can only
+/// occur on a cycle the event-driven engine evaluates anyway, so both
+/// engines produce bit-identical event streams.
+struct ObsSink {
+    rec: Recorder,
+    pid: u32,
+}
+
 /// The accelerator system: workers + FIFOs + shared cache.
 pub struct HwSystem<'m> {
     funcs: Vec<&'m Function>,
@@ -179,6 +191,12 @@ pub struct HwSystem<'m> {
     fifo_total_channels: u32,
     trace: Option<Trace>,
     fault: Option<FaultPlan>,
+    obs: Option<ObsSink>,
+    /// Design name for the obs process label.
+    design: String,
+    /// Per-worker display label (task name, plus the worker index for
+    /// parallel-stage instances).
+    worker_labels: Vec<String>,
 }
 
 impl<'m> HwSystem<'m> {
@@ -194,16 +212,19 @@ impl<'m> HwSystem<'m> {
         let funcs: Vec<&Function> = module.funcs.iter().collect();
         let fsms: Vec<Fsm> = funcs.iter().map(|f| schedule_function(f)).collect();
         let mut workers = Vec::new();
+        let mut worker_labels = Vec::new();
         for task in &pm.tasks {
             match task.kind {
                 StageKind::Sequential => {
                     workers.push(Worker::new(task.func_index, funcs[task.func_index], args));
+                    worker_labels.push(task.name.clone());
                 }
                 StageKind::Parallel => {
                     for w in 0..pm.workers {
                         let mut a = args.to_vec();
                         a.push(Value::I32(w as i32));
                         workers.push(Worker::new(task.func_index, funcs[task.func_index], &a));
+                        worker_labels.push(format!("{} w{w}", task.name));
                     }
                 }
             }
@@ -223,6 +244,9 @@ impl<'m> HwSystem<'m> {
             fifo_total_channels,
             trace: None,
             fault: None,
+            obs: None,
+            design: pm.module.name.clone(),
+            worker_labels,
         }
     }
 
@@ -242,6 +266,9 @@ impl<'m> HwSystem<'m> {
             fifo_total_channels: 0,
             trace: None,
             fault: None,
+            obs: None,
+            design: func.name.clone(),
+            worker_labels: vec![func.name.clone()],
         }
     }
 
@@ -255,6 +282,26 @@ impl<'m> HwSystem<'m> {
     /// The recorded trace, if tracing was enabled.
     pub fn take_trace(&mut self) -> Option<Trace> {
         self.trace.take()
+    }
+
+    /// Attach a structured-trace recorder (see `cgpa-obs`): the next
+    /// [`HwSystem::run`] emits, into trace process `pid`, a `run` span on
+    /// track 0, one per-iteration span per worker on track `w + 1`
+    /// (iteration *N* begins at the cycle after its back edge and ends at
+    /// its own), and one FIFO-occupancy counter track per queue set.
+    ///
+    /// Unlike [`HwSystem::enable_trace`], this does **not** force the
+    /// per-cycle stepper: every emitted event falls on a cycle the
+    /// event-driven engine evaluates anyway (back edges and occupancy
+    /// changes require a non-blocked worker), so both engines record
+    /// bit-identical streams.
+    pub fn attach_obs(&mut self, rec: &Recorder, pid: u32) {
+        rec.name_process(pid, format!("sim {}", self.design));
+        rec.name_thread(pid, 0, "pipeline");
+        for (wi, label) in self.worker_labels.iter().enumerate() {
+            rec.name_thread(pid, wi as u32 + 1, label.clone());
+        }
+        self.obs = Some(ObsSink { rec: rec.clone(), pid });
     }
 
     /// Arm a fault-injection plan for the next [`HwSystem::run`]. Timing
@@ -410,11 +457,30 @@ impl<'m> HwSystem<'m> {
         let mut queue_occ_before: Vec<u32> = vec![0; self.queues.len()];
         let mut last_cause: Vec<Option<StallCause>> = vec![None; n_workers];
 
+        if let Some(obs) = &self.obs {
+            // The run span and every worker's first iteration open at cycle
+            // 0; counter tracks get an initial sample so Perfetto draws
+            // them from the origin.
+            obs.rec.begin_at(obs.pid, 0, 0, format!("run {}", self.design), "sim");
+            for wi in 0..n_workers {
+                obs.rec.begin_at(obs.pid, wi as u32 + 1, 0, "iter 0", "iteration");
+            }
+            for (qi, q) in self.queues.iter().enumerate() {
+                obs.rec.counter_at(
+                    obs.pid,
+                    0,
+                    0,
+                    format!("q{qi} {} beats", q.name),
+                    f64::from(total_occupancy(q)),
+                );
+            }
+        }
+
         while cycle < fuel {
             if live.is_empty() {
                 break;
             }
-            if self.trace.is_some() {
+            if self.trace.is_some() || self.obs.is_some() {
                 for (qi, occ) in queue_occ_before.iter_mut().enumerate() {
                     *occ = total_occupancy(&self.queues[qi]);
                 }
@@ -444,6 +510,7 @@ impl<'m> HwSystem<'m> {
                 }
                 let before_busy = self.workers[wi].stats.busy;
                 let before_state = self.workers[wi].state;
+                let before_iters = self.workers[wi].stats.iterations;
                 let stepped = step_worker(
                     self.funcs[self.workers[wi].func],
                     &self.fsms[self.workers[wi].func],
@@ -482,6 +549,29 @@ impl<'m> HwSystem<'m> {
                         trace.record(TraceEvent::Finish { cycle, worker: wi as u32 });
                     }
                 }
+                if let Some(obs) = &self.obs {
+                    // A back edge retires the worker's current iteration:
+                    // its span covers every cycle up to and including this
+                    // one, and the next iteration opens at the boundary.
+                    // `Ret` ends the final iteration without a successor.
+                    // At most one of these fires per evaluated cycle, and
+                    // neither can occur inside a skipped window, so the
+                    // stream is engine-independent.
+                    if w.stats.iterations != before_iters {
+                        obs.rec.end_at(obs.pid, wi as u32 + 1, cycle + 1);
+                        if !w.finished {
+                            obs.rec.begin_at(
+                                obs.pid,
+                                wi as u32 + 1,
+                                cycle + 1,
+                                format!("iter {}", w.stats.iterations),
+                                "iteration",
+                            );
+                        }
+                    } else if w.finished {
+                        obs.rec.end_at(obs.pid, wi as u32 + 1, cycle + 1);
+                    }
+                }
                 if self.workers[wi].finished {
                     finish_cycle[wi] = cycle;
                     // Plain remove (not swap) keeps the remaining workers in
@@ -492,15 +582,30 @@ impl<'m> HwSystem<'m> {
                     li += 1;
                 }
             }
-            if let Some(trace) = &mut self.trace {
+            if self.trace.is_some() || self.obs.is_some() {
                 for (qi, &before) in queue_occ_before.iter().enumerate() {
                     let now = total_occupancy(&self.queues[qi]);
-                    if now != before {
+                    if now == before {
+                        continue;
+                    }
+                    if let Some(trace) = &mut self.trace {
                         trace.record(TraceEvent::QueueOccupancy {
                             cycle,
                             queue: qi as u32,
                             beats: now,
                         });
+                    }
+                    if let Some(obs) = &self.obs {
+                        // Occupancy can only move on an evaluated cycle
+                        // (pushes/pops need an active worker), so both
+                        // engines sample at identical cycles.
+                        obs.rec.counter_at(
+                            obs.pid,
+                            0,
+                            cycle,
+                            format!("q{qi} {} beats", self.queues[qi].name),
+                            f64::from(now),
+                        );
                     }
                 }
             }
@@ -593,6 +698,10 @@ impl<'m> HwSystem<'m> {
         let last = cycle.saturating_sub(1);
         for (wi, w) in self.workers.iter_mut().enumerate() {
             w.stats.idle += last - finish_cycle[wi];
+        }
+        if let Some(obs) = &self.obs {
+            // Close the run span at the join (total cycle count).
+            obs.rec.end_at(obs.pid, 0, cycle);
         }
         // A duplicated beat that nobody pops survives to the join; flag it
         // instead of reporting a clean run.
@@ -1295,6 +1404,9 @@ mod tests {
             fifo_total_channels: 4,
             trace: None,
             fault: None,
+            obs: None,
+            design: "tiny".to_string(),
+            worker_labels: vec!["gen".into(), "sink w0".into(), "sink w1".into()],
         };
         let stats = sys.run(&mut mem).unwrap();
         for i in 0..n {

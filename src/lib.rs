@@ -8,6 +8,7 @@ pub use cgpa;
 pub use cgpa_analysis as analysis;
 pub use cgpa_ir as ir;
 pub use cgpa_kernels as kernels;
+pub use cgpa_obs as obs;
 pub use cgpa_pipeline as pipeline;
 pub use cgpa_rtl as rtl;
 pub use cgpa_sim as sim;
