@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! experiments [table2|fig4|table3|tradeoff|scalability|ablation|topology|profile|bench|all]
+//! experiments [table2|fig4|table3|tradeoff|scalability|ablation|topology|profile|bench|dse|all]
 //!             [--quick] [--csv <dir>] [--json] [--label <name>]
 //! experiments trace [--kernel <name>] [--out <file>] [--quick]
 //! experiments compare <new.json> [--baseline <file>] [--max-regress <pct>]
@@ -21,6 +21,12 @@
 //! With `--json` it writes `BENCH_<label>.json` (label from `--label`, the
 //! `BENCH_LABEL` env var, or the current git short SHA) for regression
 //! tracking; compare against the committed `BENCH_baseline.json`.
+//!
+//! `dse` explores the configuration lattice per kernel (workers × FIFO
+//! depth × cache geometry × P1/P2 placement) with compiles memoized behind
+//! a content-hash cache, and reports the (cycles, ALUTs, power) Pareto
+//! frontier plus the recommended point under the DE4 area budget. With
+//! `--json` it writes `DSE_<label>.json`; `--quick` samples the lattice.
 //!
 //! `trace` runs one kernel end to end with structured tracing (compile-phase
 //! spans, Verilog emission, per-iteration pipeline spans, FIFO-occupancy
@@ -101,6 +107,7 @@ fn main() {
     match which.as_str() {
         "bench" => bench(set, args.iter().any(|a| a == "--json"), &bench_label(&args)),
         "profile" => profile_cmd(set, args.iter().any(|a| a == "--json"), &bench_label(&args)),
+        "dse" => dse_cmd(set, args.iter().any(|a| a == "--json"), &bench_label(&args)),
         "trace" => trace_cmd(
             set,
             flag_operand(&args, "--kernel").unwrap_or_else(|| "kmeans".to_string()).as_str(),
@@ -144,7 +151,7 @@ fn main() {
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: experiments [table2|fig4|table3|tradeoff|scalability|ablation|topology|profile|bench|trace|compare|all] [--quick] [--csv <dir>] [--json] [--label <name>]"
+                "usage: experiments [table2|fig4|table3|tradeoff|scalability|ablation|topology|profile|bench|dse|trace|compare|all] [--quick] [--csv <dir>] [--json] [--label <name>]"
             );
             std::process::exit(2);
         }
@@ -533,6 +540,185 @@ fn profile_cmd(set: KernelSet, json: bool, label: &str) {
         let _ = writeln!(out, "}}");
         let path = format!("PROFILE_{label}.json");
         std::fs::write(&path, out).expect("write profile json");
+        eprintln!("wrote {path}");
+    }
+}
+
+/// One DSE outcome as a JSON object (shared by `recommended` and the
+/// frontier list).
+fn dse_point_json(o: &cgpa::dse::DseOutcome, indent: &str) -> String {
+    use cgpa_pipeline::ReplicablePlacement;
+    let p = &o.point;
+    let placement = match p.placement {
+        ReplicablePlacement::Pipelined => "P1",
+        ReplicablePlacement::Replicated => "P2",
+    };
+    let banks = match p.cache_banks {
+        Some(b) => b.to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        "{indent}{{\"label\": \"{}\", \"placement\": \"{placement}\", \"workers\": {}, \
+         \"fifo_depth_beats\": {}, \"cache_lines\": {}, \"cache_banks\": {banks}, \
+         \"cycles\": {}, \"alut\": {}, \"power_mw\": {:.3}, \"energy_uj\": {:.3}, \
+         \"edp\": {:.6}}}",
+        p.label(),
+        p.workers,
+        p.fifo_depth_beats,
+        p.cache_lines,
+        o.cycles,
+        o.alut,
+        o.power_mw,
+        o.energy_uj,
+        o.edp,
+    )
+}
+
+/// Design-space exploration: enumerate the configuration lattice per
+/// kernel, evaluate every point (compiles memoized behind the content-hash
+/// cache), and report the (cycles, ALUTs, power) Pareto frontier plus the
+/// recommended point under the DE4 area budget. The recommended point is
+/// re-validated through the warm cache — a cache hit plus a bit-identical
+/// re-run. With `json`, writes `DSE_<label>.json`.
+fn dse_cmd(set: KernelSet, json: bool, label: &str) {
+    use cgpa::dse::{CompileCache, DseLattice, DEFAULT_AREA_BUDGET_ALUT};
+    use cgpa::flows::{run_cgpa_dse, run_compiled_tuned, HwTuning};
+
+    let budget = DEFAULT_AREA_BUDGET_ALUT;
+    let lattice = if set == KernelSet::Quick { DseLattice::quick() } else { DseLattice::default() };
+    let env = HwTuning::default();
+    let cache = CompileCache::new();
+    println!("== DSE: Pareto frontier per kernel (area budget {budget} ALUTs) ==");
+    println!(
+        "{:<12} {:>6} {:>6} {:>8} {:>6} {:>8}  {:<26} {:>10} {:>8} {:>8}",
+        "benchmark",
+        "points",
+        "skip",
+        "compiles",
+        "hits",
+        "frontier",
+        "recommended",
+        "cycles",
+        "alut",
+        "mW"
+    );
+    let kernels = bench_kernels(set, 42);
+    let mut csv_rows: Vec<String> = Vec::new();
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"label\": \"{label}\",");
+    let _ =
+        writeln!(out, "  \"set\": \"{}\",", if set == KernelSet::Quick { "quick" } else { "full" });
+    let _ = writeln!(out, "  \"area_budget_alut\": {budget},");
+    let _ = writeln!(out, "  \"kernels\": [");
+    let mut first = true;
+    for k in &kernels {
+        let report = match run_cgpa_dse(k, &lattice, env, budget, &cache) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("{:<12} failed: {e}", k.name);
+                continue;
+            }
+        };
+        // Warm-cache re-validation: compiling the recommended point again
+        // must hit the cache (no compile) and re-simulate to the same
+        // cycle count.
+        let revalidated = report.recommended.as_ref().is_some_and(|rec| {
+            let before = cache.stats();
+            let cfg = rec.point.config(&CgpaConfig::default());
+            let Ok(design) = cache.get_or_compile(&k.func, &k.model, cfg) else {
+                return false;
+            };
+            let after = cache.stats();
+            let warm = after.hits > before.hits && after.compiles == before.compiles;
+            match run_compiled_tuned(k, &design, cfg, rec.point.tuning(&env)) {
+                Ok(rr) => warm && rr.cycles == rec.cycles,
+                Err(_) => false,
+            }
+        });
+        let (rec_label, rec_cycles, rec_alut, rec_mw) = match &report.recommended {
+            Some(r) => (
+                r.point.label(),
+                r.cycles.to_string(),
+                r.alut.to_string(),
+                format!("{:.1}", r.power_mw),
+            ),
+            None => ("-".to_string(), "-".to_string(), "-".to_string(), "-".to_string()),
+        };
+        println!(
+            "{:<12} {:>6} {:>6} {:>8} {:>6} {:>8}  {:<26} {:>10} {:>8} {:>8}",
+            report.kernel,
+            report.evaluated.len(),
+            report.skipped.len(),
+            report.compiles,
+            report.cache_hits,
+            report.frontier.len(),
+            rec_label,
+            rec_cycles,
+            rec_alut,
+            rec_mw,
+        );
+        csv_rows.push(format!(
+            "{},{},{},{},{},{},{},{},{},{}",
+            report.kernel,
+            report.evaluated.len(),
+            report.skipped.len(),
+            report.compiles,
+            report.cache_hits,
+            report.frontier.len(),
+            rec_label,
+            rec_cycles,
+            rec_alut,
+            rec_mw,
+        ));
+        if !first {
+            let _ = writeln!(out, ",");
+        }
+        first = false;
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", report.kernel);
+        let _ = writeln!(out, "      \"points_evaluated\": {},", report.evaluated.len());
+        let _ = writeln!(out, "      \"points_skipped\": {},", report.skipped.len());
+        let _ = writeln!(out, "      \"compiles\": {},", report.compiles);
+        let _ = writeln!(out, "      \"cache_hits\": {},", report.cache_hits);
+        let _ = writeln!(
+            out,
+            "      \"best_cycles\": {},",
+            report.best_cycles().map_or_else(|| "null".to_string(), |c| c.to_string())
+        );
+        let _ = writeln!(out, "      \"revalidated\": {revalidated},");
+        match &report.recommended {
+            Some(r) => {
+                let _ = writeln!(out, "      \"recommended\": {},", dse_point_json(r, ""));
+            }
+            None => {
+                let _ = writeln!(out, "      \"recommended\": null,");
+            }
+        }
+        let _ = writeln!(out, "      \"frontier\": [");
+        for (i, f) in report.frontier.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{}{}",
+                dse_point_json(f, "        "),
+                if i + 1 < report.frontier.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "      ]");
+        let _ = write!(out, "    }}");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    println!();
+    write_csv(
+        "dse",
+        "benchmark,points,skipped,compiles,cache_hits,frontier,recommended,cycles,alut,power_mw",
+        &csv_rows,
+    );
+    if json {
+        let path = format!("DSE_{label}.json");
+        std::fs::write(&path, out).expect("write dse json");
         eprintln!("wrote {path}");
     }
 }

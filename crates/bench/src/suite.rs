@@ -44,26 +44,10 @@ pub fn has_p2(name: &str) -> bool {
     matches!(name, "em3d" | "gaussblur")
 }
 
-/// Map `f` over `items` with one scoped thread per item, preserving input
-/// order. The matrices here are small (five kernels × a handful of
-/// configurations), so plain `std::thread::scope` is enough — no pool, no
-/// extra dependencies.
-pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
-    out.resize_with(items.len(), || None);
-    std::thread::scope(|s| {
-        for (slot, item) in out.iter_mut().zip(items) {
-            let f = &f;
-            s.spawn(move || *slot = Some(f(item)));
-        }
-    });
-    out.into_iter().map(|r| r.expect("scoped thread ran to completion")).collect()
-}
+// The canonical scoped-thread fan-out now lives in the library next to the
+// design-space explorer that shares it; re-exported here so existing
+// harness callers keep working.
+pub use cgpa::dse::{par_map, par_map_capped};
 
 /// Run all configurations for one kernel. The four flows (MIPS, LegUp,
 /// CGPA-P1 and, where the paper reports it, CGPA-P2) run concurrently.

@@ -109,7 +109,7 @@ impl DegradedCompile {
 }
 
 /// Compiler configuration (paper §4.1 defaults: 4 workers, 16-deep FIFOs).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CgpaConfig {
     /// Parallel-stage worker count (power of two).
     pub workers: u32,

@@ -175,6 +175,10 @@ pub struct HwTuning {
     /// memory-latency-dominated — the regime the profile-guided tuner is
     /// exercised in).
     pub cache_lines: u32,
+    /// D-cache banks (ports). `None` derives one port per worker, clamped
+    /// to the 8-port cache of §4.1 — the paper's configuration; the
+    /// design-space explorer sets explicit values to trade ports for area.
+    pub cache_banks: Option<u32>,
     /// Simulation engine (event-driven scheduler vs per-cycle reference).
     /// Cycle counts and statistics are identical either way; only wall-clock
     /// time differs.
@@ -187,6 +191,7 @@ impl Default for HwTuning {
             fifo_depth_beats: 16,
             miss_latency: CacheConfig::default().miss_latency,
             cache_lines: CacheConfig::default().lines,
+            cache_banks: None,
             engine: SimEngine::default(),
         }
     }
@@ -259,9 +264,10 @@ fn run_compiled_impl(
             StageKind::Parallel => compiled.pipeline.workers,
         })
         .sum();
+    let banks = tuning.cache_banks.map_or_else(|| worker_count.clamp(1, 8), |b| b.max(1));
     let hw_cfg = HwConfig {
         cache: CacheConfig {
-            banks: worker_count.clamp(1, 8),
+            banks,
             miss_latency: tuning.miss_latency,
             lines: tuning.cache_lines,
             ..CacheConfig::default()
@@ -339,7 +345,7 @@ fn run_compiled_impl(
         workers: worker_areas.iter().cloned().zip(stats.workers.iter().map(|w| w.busy)).collect(),
         fifo_beats: stats.fifo_beats,
         cache_accesses: stats.cache.accesses,
-        cache_ports: worker_count.clamp(1, 8),
+        cache_ports: banks,
         fifo_area: fifo,
     };
     let power: PowerReport = evaluate(&pmodel, &trace);
@@ -517,13 +523,52 @@ impl TuneOutcome {
     }
 }
 
+/// The knob adjustment a profile's bottleneck verdict calls for: double
+/// parallel-stage workers for a saturated parallel stage or a latency-bound
+/// memory port, double FIFO depth for a full queue. `None` means no knob
+/// addresses the verdict — a saturated sequential stage, conflict-bound
+/// memory, a knob at its cap, or (the degenerate case) a verdict naming a
+/// stage this profile does not carry (stats from another compile, a
+/// deserialized profile) — and the tuner stops with its best-so-far outcome
+/// instead of panicking.
+#[must_use]
+pub fn next_tune_step(
+    profile: &Profile,
+    config: CgpaConfig,
+    tuning: HwTuning,
+) -> Option<(CgpaConfig, HwTuning)> {
+    let mut config = config;
+    let mut tuning = tuning;
+    let has_parallel_stage = profile.stages.iter().any(|s| s.parallel);
+    match &profile.bottleneck {
+        Bottleneck::QueueFull { .. } if tuning.fifo_depth_beats < TUNE_MAX_FIFO_DEPTH => {
+            tuning.fifo_depth_beats *= 2;
+            Some((config, tuning))
+        }
+        Bottleneck::Stage { stage, .. } => match profile.stage(*stage) {
+            Some(s) if s.parallel && config.workers < TUNE_MAX_WORKERS => {
+                config.workers *= 2; // stays a power of two
+                Some((config, tuning))
+            }
+            // A sequential stage cannot be scaled; an absent stage cannot
+            // even be classified.
+            _ => None,
+        },
+        Bottleneck::MemoryPort { latency_bound: true, .. }
+            if has_parallel_stage && config.workers < TUNE_MAX_WORKERS =>
+        {
+            // More workers = more ports = more misses in flight.
+            config.workers *= 2;
+            Some((config, tuning))
+        }
+        _ => None, // conflict-bound memory, or every knob at its cap
+    }
+}
+
 /// Profile-guided auto-tuner: iterate compile→run→profile, doubling the
-/// knob the bottleneck verdict indicts — parallel-stage workers for a
-/// saturated parallel stage or a latency-bound memory port (more ports,
-/// more outstanding misses), FIFO depth for a full queue — until a step
-/// improves cycles by less than `min_gain` (see [`TUNE_MIN_GAIN`]) or the
-/// bottleneck is one no knob addresses (a saturated sequential stage, a
-/// conflict-bound memory port).
+/// knob the bottleneck verdict indicts (see [`next_tune_step`]) until a
+/// step improves cycles by less than `min_gain` (see [`TUNE_MIN_GAIN`]) or
+/// the bottleneck is one no knob addresses.
 ///
 /// # Errors
 /// See [`FlowError`]. Every candidate run is verified against the
@@ -561,36 +606,38 @@ pub fn run_cgpa_tuned_auto(
         } else {
             break; // marginal speedup below threshold: stop climbing
         }
-        let p = &best.as_ref().expect("just accepted").profile;
-        let has_parallel_stage = p.stages.iter().any(|s| s.parallel);
-        let adjusted = match &p.bottleneck {
-            Bottleneck::QueueFull { .. } if tuning.fifo_depth_beats < TUNE_MAX_FIFO_DEPTH => {
-                tuning.fifo_depth_beats *= 2;
-                true
+        let Some(b) = &best else { break };
+        match next_tune_step(&b.profile, config, tuning) {
+            Some((c, t)) => {
+                config = c;
+                tuning = t;
             }
-            Bottleneck::Stage { stage, .. } => {
-                let saturated = p.stages.iter().find(|s| s.stage == *stage).expect("stage");
-                if saturated.parallel && config.workers < TUNE_MAX_WORKERS {
-                    config.workers *= 2; // stays a power of two
-                    true
-                } else {
-                    false // a sequential stage cannot be scaled
-                }
-            }
-            Bottleneck::MemoryPort { latency_bound: true, .. }
-                if has_parallel_stage && config.workers < TUNE_MAX_WORKERS =>
-            {
-                // More workers = more ports = more misses in flight.
-                config.workers *= 2;
-                true
-            }
-            _ => false, // conflict-bound memory, or every knob at its cap
-        };
-        if !adjusted {
-            break;
+            None => break, // no knob addresses this bottleneck
         }
     }
-    Ok(TuneOutcome { best: best.expect("first step always accepted"), baseline_cycles, steps })
+    let best = best.ok_or_else(|| FlowError::Interp("tuner completed no iteration".to_string()))?;
+    Ok(TuneOutcome { best, baseline_cycles, steps })
+}
+
+/// Explore the design-space lattice for one kernel: compile each distinct
+/// configuration once (memoized through `cache`), simulate every lattice
+/// point concurrently, and report the (cycles, ALUTs, power) Pareto
+/// frontier plus a recommended point under `area_budget_alut`. Partition
+/// heuristics are the defaults; `env` supplies miss latency, cache lines
+/// when the lattice does not sweep them, and the simulation engine. See
+/// [`crate::dse`] for the building blocks.
+///
+/// # Errors
+/// See [`crate::dse::explore`]: per-point failures are recorded in the
+/// report, an error means no point was feasible.
+pub fn run_cgpa_dse(
+    k: &BuiltKernel,
+    lattice: &crate::dse::DseLattice,
+    env: HwTuning,
+    area_budget_alut: u32,
+    cache: &crate::dse::CompileCache,
+) -> Result<crate::dse::DseReport, FlowError> {
+    crate::dse::explore(k, lattice, CgpaConfig::default(), env, area_budget_alut, cache)
 }
 
 /// Compile with the graceful-degradation ladder and run whatever rung the
@@ -713,6 +760,86 @@ mod tests {
         );
         assert!(outcome.steps.len() >= 2);
         assert!(outcome.speedup() > 1.0);
+    }
+
+    /// A hand-built profile whose bottleneck verdict names stage
+    /// `bottleneck_stage`, while the profile itself only carries stages 0
+    /// and 1 (1 parallel) — the shape of a profile deserialized from disk
+    /// or assembled against a different compile.
+    fn profile_with_bottleneck_stage(bottleneck_stage: usize) -> Profile {
+        use crate::profile::{MemoryProfile, StageProfile};
+        let stage = |idx: usize, parallel: bool| StageProfile {
+            stage: idx,
+            name: format!("k_stage{idx}"),
+            parallel,
+            workers: if parallel { 4 } else { 1 },
+            busy: 900,
+            stall_mem_read: 0,
+            stall_mem_write: 0,
+            stall_push: 0,
+            stall_pop: 0,
+            idle: 100,
+            utilization: 0.9,
+        };
+        Profile {
+            kernel: "k".to_string(),
+            config: "CGPA(P1)".to_string(),
+            shape: "S-P".to_string(),
+            workers: 4,
+            fifo_depth_beats: 16,
+            cycles: 1000,
+            stages: vec![stage(0, false), stage(1, true)],
+            queues: Vec::new(),
+            memory: MemoryProfile {
+                ports: 5,
+                accesses: 100,
+                hits: 90,
+                misses: 10,
+                conflict_cycles: 0,
+                read_stall_cycles: 0,
+                write_stall_cycles: 0,
+                stall_fraction: 0.0,
+            },
+            bottleneck: Bottleneck::Stage { stage: bottleneck_stage, utilization: 0.99 },
+        }
+    }
+
+    #[test]
+    fn tune_step_stops_when_the_bottleneck_names_an_absent_stage() {
+        // Regression: this used to panic on `.expect("stage")` inside the
+        // tuner loop. An out-of-band verdict must stop the climb instead.
+        let p = profile_with_bottleneck_stage(7);
+        assert!(p.stage(7).is_none());
+        assert!(next_tune_step(&p, CgpaConfig::default(), HwTuning::default()).is_none());
+        // The summary degrades to an index-only description, same as PR 4's
+        // bottleneck_summary fix.
+        assert!(p.bottleneck_summary().contains("not in profile"));
+    }
+
+    #[test]
+    fn tune_step_scales_a_saturated_parallel_stage() {
+        let p = profile_with_bottleneck_stage(1); // the parallel stage
+        let (c, t) = next_tune_step(&p, CgpaConfig::default(), HwTuning::default()).unwrap();
+        assert_eq!(c.workers, CgpaConfig::default().workers * 2);
+        assert_eq!(t.fifo_depth_beats, HwTuning::default().fifo_depth_beats);
+        // A sequential bottleneck stage has no knob.
+        let p = profile_with_bottleneck_stage(0);
+        assert!(next_tune_step(&p, CgpaConfig::default(), HwTuning::default()).is_none());
+    }
+
+    #[test]
+    fn explicit_cache_banks_reach_the_simulated_cache() {
+        let k = small_em3d();
+        // One bank serializes every access; the default (one port per
+        // worker) overlaps them. Fewer ports can never be faster.
+        let one_bank = HwTuning { cache_banks: Some(1), ..HwTuning::default() };
+        let narrow = run_cgpa_tuned(&k, CgpaConfig::default(), one_bank).unwrap();
+        let wide = run_cgpa(&k, CgpaConfig::default()).unwrap();
+        assert!(narrow.cycles >= wide.cycles, "{} < {}", narrow.cycles, wide.cycles);
+        // A zero from a sweep is clamped by the cache model, not a panic.
+        let zero = HwTuning { cache_banks: Some(0), ..HwTuning::default() };
+        let r = run_cgpa_tuned(&k, CgpaConfig::default(), zero).unwrap();
+        assert!(r.cycles >= wide.cycles);
     }
 
     #[test]

@@ -33,6 +33,7 @@
 //! ```
 
 pub mod compiler;
+pub mod dse;
 pub mod flows;
 pub mod profile;
 pub mod report;
@@ -41,11 +42,15 @@ pub use compiler::{
     CgpaCompiler, CgpaConfig, CompileError, Compiled, DegradationPolicy, DegradationRung,
     DegradedCompile,
 };
+pub use dse::{
+    dominates, par_map, par_map_capped, pareto_frontier, schedule_hash, CompileCache,
+    CompileCacheStats, DseLattice, DseOutcome, DsePoint, DseReport, DEFAULT_AREA_BUDGET_ALUT,
+};
 pub use flows::{
-    run_cgpa, run_cgpa_degraded, run_cgpa_profiled, run_cgpa_traced, run_cgpa_tuned,
-    run_cgpa_tuned_auto, run_cgpa_with_faults, run_cgpa_with_faults_tuned, run_compiled,
-    run_compiled_tuned, run_legup, run_legup_engine, run_mips, FlowError, HwTuning, ProfiledRun,
-    RunResult, TracedRun, TuneOutcome, TuneStep, TUNE_MIN_GAIN,
+    next_tune_step, run_cgpa, run_cgpa_degraded, run_cgpa_dse, run_cgpa_profiled, run_cgpa_traced,
+    run_cgpa_tuned, run_cgpa_tuned_auto, run_cgpa_with_faults, run_cgpa_with_faults_tuned,
+    run_compiled, run_compiled_tuned, run_legup, run_legup_engine, run_mips, FlowError, HwTuning,
+    ProfiledRun, RunResult, TracedRun, TuneOutcome, TuneStep, TUNE_MIN_GAIN,
 };
 pub use profile::{Bottleneck, MemoryProfile, Profile, QueueProfile, StageProfile};
 pub use report::{geomean, pipeline_summary, BenchmarkReport};

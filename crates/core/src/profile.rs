@@ -272,6 +272,21 @@ impl Profile {
         }
     }
 
+    /// The rollup for pipeline stage `stage`, or `None` when this profile
+    /// does not carry it (a [`Bottleneck`] deserialized or assembled out of
+    /// band may name such a stage — consumers must not unwrap).
+    #[must_use]
+    pub fn stage(&self, stage: usize) -> Option<&StageProfile> {
+        self.stages.iter().find(|p| p.stage == stage)
+    }
+
+    /// The statistics for module queue `queue`, or `None` when this profile
+    /// does not carry it.
+    #[must_use]
+    pub fn queue(&self, queue: u32) -> Option<&QueueProfile> {
+        self.queues.iter().find(|p| p.queue == queue)
+    }
+
     /// One-line description of the limiting resource.
     #[must_use]
     pub fn bottleneck_summary(&self) -> String {
@@ -279,39 +294,35 @@ impl Profile {
             // A `Bottleneck` deserialized or assembled out of band may name a
             // stage/queue this profile does not carry; degrade to an
             // index-only summary instead of panicking.
-            Bottleneck::Stage { stage, utilization } => {
-                match self.stages.iter().find(|p| p.stage == *stage) {
-                    Some(s) => format!(
-                        "stage {} `{}` ({}, {:.0}% utilized)",
-                        stage,
-                        s.name,
-                        if s.parallel { "parallel" } else { "sequential" },
-                        utilization * 100.0
-                    ),
-                    None => format!(
-                        "stage {} (not in profile, {:.0}% utilized)",
-                        stage,
-                        utilization * 100.0
-                    ),
-                }
-            }
-            Bottleneck::QueueFull { queue, full_fraction } => {
-                match self.queues.iter().find(|p| p.queue == *queue) {
-                    Some(q) => format!(
-                        "queue {} `{}` full {:.0}% of the time (stage {} -> {})",
-                        queue,
-                        q.name,
-                        full_fraction * 100.0,
-                        q.producer_stage,
-                        q.consumer_stage
-                    ),
-                    None => format!(
-                        "queue {} (not in profile) full {:.0}% of the time",
-                        queue,
-                        full_fraction * 100.0
-                    ),
-                }
-            }
+            Bottleneck::Stage { stage, utilization } => match self.stage(*stage) {
+                Some(s) => format!(
+                    "stage {} `{}` ({}, {:.0}% utilized)",
+                    stage,
+                    s.name,
+                    if s.parallel { "parallel" } else { "sequential" },
+                    utilization * 100.0
+                ),
+                None => format!(
+                    "stage {} (not in profile, {:.0}% utilized)",
+                    stage,
+                    utilization * 100.0
+                ),
+            },
+            Bottleneck::QueueFull { queue, full_fraction } => match self.queue(*queue) {
+                Some(q) => format!(
+                    "queue {} `{}` full {:.0}% of the time (stage {} -> {})",
+                    queue,
+                    q.name,
+                    full_fraction * 100.0,
+                    q.producer_stage,
+                    q.consumer_stage
+                ),
+                None => format!(
+                    "queue {} (not in profile) full {:.0}% of the time",
+                    queue,
+                    full_fraction * 100.0
+                ),
+            },
             Bottleneck::MemoryPort { stall_fraction, latency_bound } => format!(
                 "memory port ({:.0}% of worker-cycles stalled, {})",
                 stall_fraction * 100.0,

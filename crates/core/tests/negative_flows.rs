@@ -118,3 +118,81 @@ fn fuel_exhaustion_is_reported_not_hung() {
     let err = sys.run(&mut mem).unwrap_err();
     assert!(matches!(err, cgpa_sim::HwError::Timeout { .. }));
 }
+
+/// The accumulator loop with the reduction poisoned by a `Ptr * Ptr`
+/// multiply — both operands are int-like so the IR verifier accepts it,
+/// but the execution model gives it no semantics.
+fn ptr_mul_loop() -> Function {
+    let mut b =
+        FunctionBuilder::new("acc", &[("a", Ty::Ptr), ("acc", Ty::Ptr), ("n", Ty::I32)], None);
+    let a = b.param(0);
+    let acc = b.param(1);
+    let n = b.param(2);
+    let header = b.append_block("header");
+    let body = b.append_block("body");
+    let exit = b.append_block("exit");
+    let zero = b.const_i32(0);
+    let one = b.const_i32(1);
+    b.br(header);
+    b.switch_to(header);
+    let i = b.phi(Ty::I32, "i");
+    let c = b.icmp(IntPredicate::Slt, i, n);
+    b.cond_br(c, body, exit);
+    b.switch_to(body);
+    let pa = b.gep(a, i, 4, 0);
+    let bad = b.binary(BinOp::Mul, pa, pa); // Ptr x Ptr: verifier-legal, unexecutable
+    b.store(acc, bad);
+    let i2 = b.binary(BinOp::Add, i, one);
+    b.br(header);
+    b.switch_to(exit);
+    b.ret(None);
+    b.add_phi_incoming(i, b.entry_block(), zero);
+    b.add_phi_incoming(i, body, i2);
+    b.finish().unwrap()
+}
+
+#[test]
+fn unsupported_op_is_a_typed_error_on_every_rung() {
+    use cgpa::compiler::{DegradationPolicy, DegradedCompile};
+    use cgpa_sim::{run_function, HwConfig, HwSystem, InterpError, NoHooks};
+
+    // Honest model: `acc` is read-write through one cell, so every pipeline
+    // shape is refused and the degradation ladder lands on the sequential
+    // rung — exactly where the bad op must surface as an error.
+    let mut mm = MemoryModel::new();
+    let ra = mm.add_region("a", 4, true, false);
+    let racc = mm.add_region("acc", 4, false, false);
+    mm.bind_param(0, ra);
+    mm.bind_param(1, racc);
+    let k = workload(ptr_mul_loop(), mm);
+
+    // Functional interpreter: typed error naming the op, not a panic.
+    let mut mem = k.mem.clone();
+    let err = run_function(&k.func, &k.args, &mut mem, 1_000_000, &mut NoHooks).unwrap_err();
+    assert!(matches!(err, InterpError::UnsupportedOp(_)), "want UnsupportedOp, got {err:?}");
+    assert!(err.to_string().contains("Mul"), "error should name the op: {err}");
+
+    // Degraded compile still accepts the kernel (nothing about the op is
+    // structurally wrong) — and the cycle-level simulator then reports the
+    // op as `HwError::Unsupported` instead of aborting the process,
+    // whichever rung the ladder landed on.
+    let degraded = CgpaCompiler::new(CgpaConfig::default())
+        .compile_degraded(&k.func, &k.model, DegradationPolicy::default())
+        .unwrap();
+    let mut mem = k.mem.clone();
+    let err = match &degraded {
+        DegradedCompile::Pipeline { compiled, .. } => {
+            // The parent's live-ins are exactly the kernel arguments here.
+            let mut sys = HwSystem::for_pipeline(&compiled.pipeline, &k.args, HwConfig::default());
+            sys.run(&mut mem).unwrap_err()
+        }
+        DegradedCompile::Sequential { .. } => {
+            let mut sys = HwSystem::for_single(&k.func, &k.args, HwConfig::default());
+            sys.run(&mut mem).unwrap_err()
+        }
+    };
+    assert!(
+        matches!(err, cgpa_sim::HwError::Unsupported(_)),
+        "want HwError::Unsupported, got {err:?}"
+    );
+}

@@ -38,7 +38,7 @@ pub enum ReplicablePlacement {
 }
 
 /// Partitioner options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PartitionConfig {
     /// P1 vs P2 placement of heavyweight replicable sections.
     pub placement: ReplicablePlacement,

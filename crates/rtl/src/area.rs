@@ -14,6 +14,12 @@ use crate::fsm::Fsm;
 use cgpa_ir::{BinOp, Function, Op, Ty};
 use std::collections::BTreeMap;
 
+/// ALUT envelope of the paper's evaluation platform — the Stratix IV
+/// EP4SGX230 on the Altera DE4 board (§4.1) offers 182,400 ALUTs. The
+/// design-space explorer uses this as its default area budget when
+/// recommending a configuration.
+pub const DE4_ALUT_BUDGET: u32 = 182_400;
+
 /// ALUT cost table.
 #[derive(Debug, Clone)]
 pub struct AreaModel {

@@ -25,8 +25,8 @@ pub mod schedule;
 pub mod timing;
 pub mod verilog;
 
-pub use area::{estimate_area, AreaModel, AreaReport};
+pub use area::{estimate_area, AreaModel, AreaReport, DE4_ALUT_BUDGET};
 pub use fsm::{Fsm, State, StateId};
-pub use power::{PowerModel, PowerReport};
+pub use power::{energy_delay_product, PowerModel, PowerReport};
 pub use schedule::{schedule_function, try_schedule_function, verify_schedule, ScheduleError};
 pub use timing::{op_timing, OpTiming};

@@ -120,6 +120,14 @@ pub fn energy_efficiency(iterations: u64, report: &PowerReport) -> f64 {
     iterations as f64 / report.energy_uj
 }
 
+/// Energy-delay product in µJ·s: a single scalar that penalizes both slow
+/// and power-hungry design points, used by the design-space explorer to
+/// break ties between Pareto-equivalent configurations.
+#[must_use]
+pub fn energy_delay_product(report: &PowerReport) -> f64 {
+    report.energy_uj * report.runtime_s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

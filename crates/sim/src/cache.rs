@@ -9,6 +9,33 @@
 //!
 //! [`SimMemory`]: crate::mem::SimMemory
 
+use std::error::Error;
+use std::fmt;
+
+/// A [`CacheConfig`] geometry field that cannot be zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheConfigError {
+    /// `lines == 0` — a cache with no lines cannot map addresses.
+    ZeroLines,
+    /// `block_bytes == 0` — addresses cannot be split into blocks.
+    ZeroBlockBytes,
+    /// `banks == 0` — no port could ever service a request.
+    ZeroBanks,
+}
+
+impl fmt::Display for CacheConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (field, why) = match self {
+            CacheConfigError::ZeroLines => ("lines", "a cache needs at least one line"),
+            CacheConfigError::ZeroBlockBytes => ("block_bytes", "blocks need at least one byte"),
+            CacheConfigError::ZeroBanks => ("banks", "a cache needs at least one port"),
+        };
+        write!(f, "invalid cache geometry: {field} = 0 ({why})")
+    }
+}
+
+impl Error for CacheConfigError {}
+
 /// Cache geometry and latencies.
 #[derive(Debug, Clone, Copy)]
 pub struct CacheConfig {
@@ -38,6 +65,39 @@ impl Default for CacheConfig {
             hit_latency: 1,
             miss_latency: 24,
             miss_occupancy: 6,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Reject geometries [`CacheSystem`] cannot index — sweep drivers (the
+    /// design-space explorer, tuning scripts) call this to skip nonsense
+    /// points instead of relying on the constructor's clamp.
+    ///
+    /// # Errors
+    /// [`CacheConfigError`] naming the first zero geometry field.
+    pub fn validate(&self) -> Result<(), CacheConfigError> {
+        if self.lines == 0 {
+            return Err(CacheConfigError::ZeroLines);
+        }
+        if self.block_bytes == 0 {
+            return Err(CacheConfigError::ZeroBlockBytes);
+        }
+        if self.banks == 0 {
+            return Err(CacheConfigError::ZeroBanks);
+        }
+        Ok(())
+    }
+
+    /// A copy with every zero geometry field raised to 1 (the smallest
+    /// indexable cache). Latency fields pass through untouched.
+    #[must_use]
+    pub fn clamped(self) -> CacheConfig {
+        CacheConfig {
+            lines: self.lines.max(1),
+            block_bytes: self.block_bytes.max(1),
+            banks: self.banks.max(1),
+            ..self
         }
     }
 }
@@ -80,8 +140,15 @@ pub struct CacheSystem {
 
 impl CacheSystem {
     /// Create a cold cache.
+    ///
+    /// Zero geometry fields (`lines`, `block_bytes`, `banks`) are clamped to
+    /// 1 via [`CacheConfig::clamped`] — a degenerate but well-defined
+    /// single-line cache — so a zero produced by a tuning sweep degrades the
+    /// model instead of dividing by zero. Callers that would rather reject
+    /// such configs call [`CacheConfig::validate`] first.
     #[must_use]
     pub fn new(cfg: CacheConfig) -> Self {
+        let cfg = cfg.clamped();
         CacheSystem {
             cfg,
             tags: vec![None; cfg.lines as usize],
@@ -192,5 +259,33 @@ mod tests {
         let a = c.request(0, 0);
         let b = c.request(0, 128); // next block, different bank
         assert_eq!(a, b); // both miss in parallel
+    }
+
+    #[test]
+    fn zero_geometry_is_clamped_not_a_panic() {
+        // A sweep handing the model an all-zero geometry must not divide by
+        // zero: the constructor clamps to a 1-line, 1-byte-block, 1-bank
+        // cache and requests stay well defined.
+        let cfg = CacheConfig { lines: 0, block_bytes: 0, banks: 0, ..CacheConfig::default() };
+        let mut c = CacheSystem::new(cfg);
+        assert_eq!(c.config().lines, 1);
+        assert_eq!(c.config().block_bytes, 1);
+        assert_eq!(c.config().banks, 1);
+        let t = c.request(0, 0x1234);
+        assert_eq!(t, u64::from(cfg.miss_latency));
+        assert!(c.probe(0x1234));
+        assert_eq!(c.stats.accesses, 1);
+    }
+
+    #[test]
+    fn validate_names_the_offending_field() {
+        assert_eq!(CacheConfig::default().validate(), Ok(()));
+        let zl = CacheConfig { lines: 0, ..CacheConfig::default() };
+        assert_eq!(zl.validate(), Err(CacheConfigError::ZeroLines));
+        let zb = CacheConfig { block_bytes: 0, ..CacheConfig::default() };
+        assert_eq!(zb.validate(), Err(CacheConfigError::ZeroBlockBytes));
+        let zk = CacheConfig { banks: 0, ..CacheConfig::default() };
+        assert_eq!(zk.validate(), Err(CacheConfigError::ZeroBanks));
+        assert!(zl.clamped().validate().is_ok());
     }
 }

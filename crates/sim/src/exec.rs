@@ -3,6 +3,26 @@
 
 use crate::value::Value;
 use cgpa_ir::{BinOp, CastKind, FloatPredicate, IntPredicate, Ty};
+use std::error::Error;
+use std::fmt;
+
+/// An op/value combination the execution semantics do not define.
+///
+/// The IR verifier rejects most of these statically, but some legal-looking
+/// combinations slip through (e.g. an integer `mul` on two pointers), and
+/// unverified functions reach the interpreter through the degradation
+/// ladder — so the evaluators return this instead of panicking, and the
+/// engines surface it as `InterpError::UnsupportedOp` / `HwError::Unsupported`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError(pub String);
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for ExecError {}
 
 /// Evaluate a binary operation.
 ///
@@ -10,12 +30,11 @@ use cgpa_ir::{BinOp, CastKind, FloatPredicate, IntPredicate, Ty};
 /// return 0 / the dividend respectively, modelling a hardware divider that
 /// never traps.
 ///
-/// # Panics
-/// Panics on operand-type combinations the verifier rejects.
-#[must_use]
-pub fn eval_binary(op: BinOp, a: Value, b: Value) -> Value {
+/// # Errors
+/// [`ExecError`] on operand-type combinations the semantics do not define.
+pub fn eval_binary(op: BinOp, a: Value, b: Value) -> Result<Value, ExecError> {
     use Value as V;
-    match (op, a, b) {
+    Ok(match (op, a, b) {
         // 32-bit integer (pointers take part in address arithmetic).
         (BinOp::Add, V::I32(x), V::I32(y)) => V::I32(x.wrapping_add(y)),
         (BinOp::Sub, V::I32(x), V::I32(y)) => V::I32(x.wrapping_sub(y)),
@@ -56,8 +75,10 @@ pub fn eval_binary(op: BinOp, a: Value, b: Value) -> Value {
         // Pointer arithmetic (rare; geps are preferred).
         (BinOp::Add, V::Ptr(x), V::I32(y)) => V::Ptr(x.wrapping_add(y as u32)),
         (BinOp::Sub, V::Ptr(x), V::I32(y)) => V::Ptr(x.wrapping_sub(y as u32)),
-        (op, a, b) => panic!("eval_binary: unsupported {op:?} on {a:?}, {b:?}"),
-    }
+        (op, a, b) => {
+            return Err(ExecError(format!("eval_binary: unsupported {op:?} on {a:?}, {b:?}")))
+        }
+    })
 }
 
 /// Evaluate an integer comparison (pointers compare unsigned).
@@ -131,12 +152,11 @@ pub fn eval_fcmp(pred: FloatPredicate, a: Value, b: Value) -> Value {
 
 /// Evaluate a cast.
 ///
-/// # Panics
-/// Panics on combinations the verifier rejects.
-#[must_use]
-pub fn eval_cast(kind: CastKind, v: Value, to: Ty) -> Value {
+/// # Errors
+/// [`ExecError`] on combinations the semantics do not define.
+pub fn eval_cast(kind: CastKind, v: Value, to: Ty) -> Result<Value, ExecError> {
     use Value as V;
-    match (kind, v, to) {
+    Ok(match (kind, v, to) {
         (CastKind::SExt, V::I32(x), Ty::I64) => V::I64(i64::from(x)),
         (CastKind::SExt, V::I1(x), Ty::I32) => V::I32(if x { -1 } else { 0 }),
         (CastKind::ZExt, V::I32(x), Ty::I64) => V::I64(i64::from(x as u32)),
@@ -154,8 +174,8 @@ pub fn eval_cast(kind: CastKind, v: Value, to: Ty) -> Value {
         (CastKind::FpCast, V::F64(x), Ty::F32) => V::F32(x as f32),
         (CastKind::PtrCast, V::Ptr(x), Ty::I32) => V::I32(x as i32),
         (CastKind::PtrCast, V::I32(x), Ty::Ptr) => V::Ptr(x as u32),
-        (k, v, t) => panic!("eval_cast: unsupported {k:?} {v:?} -> {t}"),
-    }
+        (k, v, t) => return Err(ExecError(format!("eval_cast: unsupported {k:?} {v:?} -> {t}"))),
+    })
 }
 
 /// Evaluate address computation `base + index * scale + offset`.
@@ -183,16 +203,32 @@ mod tests {
     fn integer_wrapping() {
         assert_eq!(
             eval_binary(BinOp::Add, Value::I32(i32::MAX), Value::I32(1)),
-            Value::I32(i32::MIN)
+            Ok(Value::I32(i32::MIN))
         );
-        assert_eq!(eval_binary(BinOp::SDiv, Value::I32(7), Value::I32(0)), Value::I32(0));
-        assert_eq!(eval_binary(BinOp::SRem, Value::I32(7), Value::I32(0)), Value::I32(7));
+        assert_eq!(eval_binary(BinOp::SDiv, Value::I32(7), Value::I32(0)), Ok(Value::I32(0)));
+        assert_eq!(eval_binary(BinOp::SRem, Value::I32(7), Value::I32(0)), Ok(Value::I32(7)));
     }
 
     #[test]
     fn shifts_mask_their_amount() {
-        assert_eq!(eval_binary(BinOp::LShr, Value::I32(-1), Value::I32(1)), Value::I32(i32::MAX));
-        assert_eq!(eval_binary(BinOp::AShr, Value::I32(-8), Value::I32(2)), Value::I32(-2));
+        assert_eq!(
+            eval_binary(BinOp::LShr, Value::I32(-1), Value::I32(1)),
+            Ok(Value::I32(i32::MAX))
+        );
+        assert_eq!(eval_binary(BinOp::AShr, Value::I32(-8), Value::I32(2)), Ok(Value::I32(-2)));
+    }
+
+    #[test]
+    fn unsupported_combinations_are_errors_not_panics() {
+        // Integer multiply on two pointers passes the verifier's int-like
+        // check but has no hardware semantics.
+        let e = eval_binary(BinOp::Mul, Value::Ptr(8), Value::Ptr(8)).unwrap_err();
+        assert!(e.to_string().contains("unsupported"), "{e}");
+        // Float add on mixed widths.
+        assert!(eval_binary(BinOp::FAdd, Value::F32(1.0), Value::F64(1.0)).is_err());
+        // A cast the semantics do not define.
+        let e = eval_cast(CastKind::Trunc, Value::I1(true), Ty::F64).unwrap_err();
+        assert!(e.to_string().contains("eval_cast"), "{e}");
     }
 
     #[test]
@@ -212,10 +248,10 @@ mod tests {
 
     #[test]
     fn casts() {
-        assert_eq!(eval_cast(CastKind::SExt, Value::I32(-1), Ty::I64), Value::I64(-1));
-        assert_eq!(eval_cast(CastKind::ZExt, Value::I32(-1), Ty::I64), Value::I64(0xffff_ffff));
-        assert_eq!(eval_cast(CastKind::SiToFp, Value::I32(3), Ty::F64), Value::F64(3.0));
-        assert_eq!(eval_cast(CastKind::PtrCast, Value::Ptr(16), Ty::I32), Value::I32(16));
+        assert_eq!(eval_cast(CastKind::SExt, Value::I32(-1), Ty::I64), Ok(Value::I64(-1)));
+        assert_eq!(eval_cast(CastKind::ZExt, Value::I32(-1), Ty::I64), Ok(Value::I64(0xffff_ffff)));
+        assert_eq!(eval_cast(CastKind::SiToFp, Value::I32(3), Ty::F64), Ok(Value::F64(3.0)));
+        assert_eq!(eval_cast(CastKind::PtrCast, Value::Ptr(16), Ty::I32), Ok(Value::I32(16)));
     }
 
     #[test]
@@ -227,7 +263,10 @@ mod tests {
 
     #[test]
     fn float_arithmetic() {
-        assert_eq!(eval_binary(BinOp::FMul, Value::F32(2.0), Value::F32(3.0)), Value::F32(6.0));
-        assert_eq!(eval_binary(BinOp::FSub, Value::F64(1.0), Value::F64(0.25)), Value::F64(0.75));
+        assert_eq!(eval_binary(BinOp::FMul, Value::F32(2.0), Value::F32(3.0)), Ok(Value::F32(6.0)));
+        assert_eq!(
+            eval_binary(BinOp::FSub, Value::F64(1.0), Value::F64(0.25)),
+            Ok(Value::F64(0.75))
+        );
     }
 }

@@ -79,7 +79,8 @@ pub enum HwError {
     /// No worker made progress for a long time (FIFO deadlock).
     Deadlock { cycle: u64, detail: String },
     /// A worker executed an operation the hardware model does not support
-    /// (host-side primitives inside a task).
+    /// (host-side primitives inside a task, or an op/value combination the
+    /// execution semantics do not define).
     Unsupported(String),
     /// An injected hardware fault was caught by the FIFO protection layer
     /// or the hang detector. `detail` is a diagnostic dump of per-queue
@@ -121,6 +122,12 @@ impl fmt::Display for HwError {
 }
 
 impl Error for HwError {}
+
+impl From<crate::exec::ExecError> for HwError {
+    fn from(e: crate::exec::ExecError) -> Self {
+        HwError::Unsupported(e.0)
+    }
+}
 
 /// One hardware worker: an FSM instance over a task function.
 #[derive(Debug)]
@@ -901,7 +908,7 @@ fn step_worker(
                 }
             }
             Op::Binary { op, lhs, rhs } => {
-                let r = eval_binary(*op, getv(w, *lhs), getv(w, *rhs));
+                let r = eval_binary(*op, getv(w, *lhs), getv(w, *rhs))?;
                 w.vals[result_ix(func, iid, wi)?] = Some(r);
                 w.cursor += 1;
             }
@@ -922,7 +929,7 @@ fn step_worker(
                 w.cursor += 1;
             }
             Op::Cast { kind, value, to } => {
-                let r = eval_cast(*kind, getv(w, *value), *to);
+                let r = eval_cast(*kind, getv(w, *value), *to)?;
                 w.vals[result_ix(func, iid, wi)?] = Some(r);
                 w.cursor += 1;
             }

@@ -49,8 +49,15 @@ pub enum InterpError {
     OutOfFuel,
     /// Argument count doesn't match the signature.
     BadArity { expected: usize, got: usize },
-    /// The function executed an accelerator-only primitive.
+    /// The function executed an accelerator-only primitive, or an op/value
+    /// combination the execution semantics do not define.
     UnsupportedOp(String),
+}
+
+impl From<crate::exec::ExecError> for InterpError {
+    fn from(e: crate::exec::ExecError) -> Self {
+        InterpError::UnsupportedOp(e.0)
+    }
 }
 
 impl fmt::Display for InterpError {
@@ -61,7 +68,7 @@ impl fmt::Display for InterpError {
                 write!(f, "expected {expected} arguments, got {got}")
             }
             InterpError::UnsupportedOp(op) => {
-                write!(f, "cannot interpret accelerator primitive {op}")
+                write!(f, "cannot interpret {op}")
             }
         }
     }
@@ -170,13 +177,13 @@ fn run_impl(
             hooks.on_inst(func, iid);
             let get = |v: cgpa_ir::ValueId| vals[v.index()].expect("operand evaluated");
             let result: Option<Value> = match &inst.op {
-                Op::Binary { op, lhs, rhs } => Some(eval_binary(*op, get(*lhs), get(*rhs))),
+                Op::Binary { op, lhs, rhs } => Some(eval_binary(*op, get(*lhs), get(*rhs))?),
                 Op::ICmp { pred, lhs, rhs } => Some(eval_icmp(*pred, get(*lhs), get(*rhs))),
                 Op::FCmp { pred, lhs, rhs } => Some(eval_fcmp(*pred, get(*lhs), get(*rhs))),
                 Op::Select { cond, on_true, on_false } => {
                     Some(if get(*cond).as_bool() { get(*on_true) } else { get(*on_false) })
                 }
-                Op::Cast { kind, value, to } => Some(eval_cast(*kind, get(*value), *to)),
+                Op::Cast { kind, value, to } => Some(eval_cast(*kind, get(*value), *to)?),
                 Op::Gep { base, index, scale, offset } => {
                     Some(eval_gep(get(*base), index.map(get), *scale, *offset))
                 }

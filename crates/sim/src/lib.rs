@@ -31,8 +31,9 @@ pub mod stats;
 pub mod trace;
 pub mod value;
 
-pub use cache::{CacheConfig, CacheSystem};
+pub use cache::{CacheConfig, CacheConfigError, CacheSystem};
 pub use diff::{diff_memories, render_diffs, WordDiff};
+pub use exec::ExecError;
 pub use fault::{Corruption, FaultClass, FaultDetection, FaultKind, FaultPlan};
 pub use fifo::QueueState;
 pub use hw::{HwConfig, HwError, HwSystem, SimEngine};
